@@ -1,0 +1,246 @@
+(* apex — command-line front end for the APEX design-space exploration
+   flow.  See `apex --help`. *)
+
+open Cmdliner
+
+module Apps = Apex_halide.Apps
+module Analysis = Apex_mining.Analysis
+module Pattern = Apex_mining.Pattern
+module G = Apex_dfg.Graph
+module D = Apex_merging.Datapath
+
+let app_arg =
+  let doc = "Application name (see `apex apps`)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let variant_arg =
+  let doc =
+    "PE variant: base, pe1:<app>, pek:<app>:<k>, spec:<app>, ip, ip2, ip3, ml."
+  in
+  Arg.(value & opt string "base" & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
+
+(* --- apps --- *)
+
+let apps_cmd =
+  let run () =
+    Format.printf "%-11s %-7s %9s %7s %6s %6s  %s@." "name" "domain" "compute"
+      "unroll" "#mem" "#io" "description";
+    List.iter
+      (fun (a : Apps.t) ->
+        Format.printf "%-11s %-7s %9d %7d %6d %6d  %s@." a.name
+          (match a.domain with
+          | Apps.Image_processing -> "IP"
+          | Apps.Machine_learning -> "ML")
+          (List.length (G.compute_ids a.graph))
+          a.unroll a.mem_tiles a.io_tiles a.description)
+      (Apps.evaluated () @ Apps.unseen () @ Apps.extended ())
+  in
+  Cmd.v
+    (Cmd.info "apps" ~doc:"List the bundled applications (Table 1 plus unseen).")
+    Term.(const run $ const ())
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let run app top =
+    let a = Apps.by_name app in
+    let ranked = Apex.Variants.analysis_of a in
+    Format.printf "%d frequent subgraphs for %s; top %d by MIS:@."
+      (List.length ranked) app top;
+    List.iteri
+      (fun i r -> if i < top then Format.printf "  %a@." Analysis.pp_ranked r)
+      ranked
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many subgraphs to print.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Mine an application's frequent subgraphs and rank them by MIS size.")
+    Term.(const run $ app_arg $ top)
+
+(* --- pe (show a variant) --- *)
+
+let pe_cmd =
+  let run variant verilog dot =
+    let v = Apex.Dse.variant_for variant in
+    Format.printf "variant %s: area %.1f um^2, %d FUs, %d configs, %d rules@."
+      v.name (D.area v.dp)
+      (Array.fold_left
+         (fun acc (n : D.node) ->
+           match n.kind with D.Fu _ -> acc + 1 | _ -> acc)
+         0 v.dp.nodes)
+      (List.length v.dp.configs) (List.length v.rules);
+    List.iter
+      (fun p -> Format.printf "  merged: %s@." (Pattern.code p))
+      v.patterns;
+    if verilog then begin
+      let spec = Apex_peak.Spec.of_datapath ~name:v.name v.dp in
+      (* pipeline the PE the way the flow would before emitting RTL *)
+      let plan = Apex_pipelining.Pe_pipeline.plan v.dp in
+      let stages =
+        if plan.stages > 1 then
+          Apex_pipelining.Pe_pipeline.assign_stages v.dp
+            ~period_ps:plan.period_ps ~stages:plan.stages
+        else None
+      in
+      print_string (Apex_peak.Verilog.emit ?stages spec)
+    end;
+    if dot then print_string (D.to_dot ~name:(Apex_peak.Verilog.sanitize v.name) v.dp)
+  in
+  let verilog =
+    Arg.(value & flag & info [ "verilog" ] ~doc:"Emit the PE's (pipelined) Verilog.")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the merged datapath as Graphviz.")
+  in
+  Cmd.v
+    (Cmd.info "pe" ~doc:"Generate and describe a PE variant.")
+    Term.(const run $ variant_arg $ verilog $ dot)
+
+(* --- map --- *)
+
+let map_cmd =
+  let run app variant =
+    let a = Apps.by_name app in
+    let v = Apex.Dse.variant_for variant in
+    match Apex.Metrics.post_mapping v a with
+    | pm, mapped ->
+        Format.printf "%a@." Apex_mapper.Cover.pp_stats mapped;
+        Format.printf
+          "PE area %.1f um^2 -> total %.0f um^2; PE-core energy %.1f fJ/output@."
+          pm.Apex.Metrics.pe_area pm.total_pe_area pm.pe_energy_per_output
+    | exception Apex_mapper.Cover.Unmappable m ->
+        Format.printf "unmappable: %s@." m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "map" ~doc:"Map an application onto a PE variant (post-mapping).")
+    Term.(const run $ app_arg $ variant_arg)
+
+(* --- evaluate --- *)
+
+let evaluate_cmd =
+  let run app variant level effort =
+    let a = Apps.by_name app in
+    let v = Apex.Dse.variant_for variant in
+    match level with
+    | "mapping" ->
+        let pm, _ = Apex.Metrics.post_mapping v a in
+        Format.printf
+          "post-mapping: #PEs %d, area/PE %.2f, total %.0f um^2, %.1f fJ/out, %.2f ops/PE@."
+          pm.Apex.Metrics.n_pes pm.pe_area pm.total_pe_area
+          pm.pe_energy_per_output pm.utilization
+    | "pnr" ->
+        let pnr, _ = Apex.Metrics.post_pnr ~effort v a in
+        Format.printf
+          "post-PnR: total %.0f um^2 (SB %.0f, CB %.0f, MEM %.0f), %.1f fJ/out, %d routing tiles@."
+          pnr.Apex.Metrics.total_area pnr.sb_area pnr.cb_area pnr.mem_area
+          pnr.total_energy_per_output pnr.routing_tiles
+    | "pipeline" ->
+        let pp = Apex.Metrics.post_pipelining ~effort v a in
+        Format.printf
+          "post-pipelining: %d PE stages @ %.0f ps, %d regs + %d RFs, %d cycles/run, %.3f ms, %.2f runs/ms/mm^2@."
+          pp.Apex.Metrics.pe_stages pp.period_ps pp.n_regs pp.n_reg_files
+          pp.cycles_per_run pp.runtime_ms pp.perf_per_mm2
+    | other ->
+        Format.printf "unknown level %s (mapping|pnr|pipeline)@." other;
+        exit 1
+  in
+  let level =
+    Arg.(value & opt string "mapping"
+         & info [ "level"; "l" ] ~doc:"mapping, pnr or pipeline.")
+  in
+  let effort =
+    Arg.(value & opt int 1 & info [ "effort" ] ~doc:"Placement effort (0 = greedy).")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"Evaluate an application on a PE variant.")
+    Term.(const run $ app_arg $ variant_arg $ level $ effort)
+
+(* --- verify (rewrite rules) --- *)
+
+let verify_cmd =
+  let run variant =
+    let v = Apex.Dse.variant_for variant in
+    Format.printf "verifying the %d rewrite rules of %s:@."
+      (List.length v.rules) v.name;
+    List.iter
+      (fun (r : Apex_mapper.Rules.t) ->
+        let verdict =
+          Apex_smt.Verify.verify_config v.dp r.config r.pattern
+        in
+        Format.printf "  %-40s %a@." r.config.D.label Apex_smt.Verify.pp_verdict
+          verdict)
+      v.rules
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Re-verify every rewrite rule of a variant with the SAT engine.")
+    Term.(const run $ variant_arg)
+
+(* --- compile: the whole back end with bitstream and simulation --- *)
+
+let compile_cmd =
+  let run app variant sim_frames emit_fabric =
+    let a = Apps.by_name app in
+    let v = Apex.Dse.variant_for variant in
+    let spec = Apex_peak.Spec.of_datapath ~name:v.name v.dp in
+    let mapped = Apex_mapper.Cover.map_app ~rules:v.rules a.graph in
+    let fabric = Apex_cgra.Fabric.create () in
+    let placement = Apex_cgra.Place.place fabric mapped in
+    let routes = Apex_cgra.Route.route placement mapped in
+    let plan =
+      Apex_pipelining.App_pipeline.balance mapped
+        ~pe_latency:(Apex_pipelining.Pe_pipeline.plan v.dp).stages
+    in
+    let bitstream = Apex_cgra.Bitstream.generate spec placement mapped routes in
+    Format.printf
+      "compiled %s on %s:@.  %d PEs placed on a %dx%d fabric (HPWL %.0f)@.         %d nets, %d word hops, %d rip-up rounds, overuse %d@.  pipeline:        latency %d, depth %d cycles, %d regs + %d register files@.         bitstream: %d bits@."
+      app v.name
+      (Apex_mapper.Cover.n_pes mapped)
+      fabric.Apex_cgra.Fabric.width fabric.Apex_cgra.Fabric.height
+      placement.Apex_cgra.Place.wirelength
+      (List.length routes.Apex_cgra.Route.nets)
+      routes.word_hops routes.iterations routes.overuse plan.pe_latency
+      plan.depth_cycles plan.n_regs plan.n_reg_files bitstream.total_bits;
+    if sim_frames > 0 then begin
+      let st = Random.State.make [| 7 |] in
+      let frames =
+        List.init sim_frames (fun _ -> Apex_dfg.Interp.random_env st a.graph)
+      in
+      let report =
+        Apex_cgra.Sim.run ~spec ~mapped ~plan ~bitstream ~placement ~frames
+      in
+      let ok =
+        List.for_all2
+          (fun frame out ->
+            List.sort compare (Apex_dfg.Interp.run a.graph frame)
+            = List.sort compare out)
+          frames report.outputs
+      in
+      Format.printf "  simulation: %d frames vs golden model -> %s@."
+        sim_frames
+        (if ok then "MATCH" else "MISMATCH");
+      if not ok then exit 1
+    end;
+    if emit_fabric then print_string (Apex_cgra.Verilog_top.emit fabric spec)
+  in
+  let sim =
+    Arg.(value & opt int 0
+         & info [ "sim" ] ~doc:"Simulate N random frames against the golden model.")
+  in
+  let emit_fabric =
+    Arg.(value & flag & info [ "fabric-verilog" ] ~doc:"Emit the full CGRA Verilog.")
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Map, place, route and generate the bitstream for an application.")
+    Term.(const run $ app_arg $ variant_arg $ sim $ emit_fabric)
+
+let main =
+  let doc = "APEX: automated CGRA processing-element design-space exploration" in
+  Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
+    [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd; compile_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/camera_pipeline_dse.ml: Apex Apex_dfg Apex_halide Format List

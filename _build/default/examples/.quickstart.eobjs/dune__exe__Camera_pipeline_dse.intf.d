@@ -1,0 +1,1 @@
+examples/camera_pipeline_dse.mli:

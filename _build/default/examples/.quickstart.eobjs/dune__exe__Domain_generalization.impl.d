@@ -1,0 +1,1 @@
+examples/domain_generalization.ml: Apex Apex_halide Apex_mapper Format List

@@ -1,0 +1,1 @@
+examples/ml_accelerator.ml: Apex Apex_halide Apex_mining Apex_models Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Apex_dfg Apex_halide Apex_mapper Apex_merging Apex_mining Apex_peak Format List Option Random String

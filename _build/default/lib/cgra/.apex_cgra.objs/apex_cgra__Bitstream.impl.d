@@ -1,0 +1,1 @@
+lib/cgra/bitstream.ml: Apex_mapper Apex_peak Array Hashtbl List Option Place Route

@@ -1,0 +1,1 @@
+lib/cgra/bitstream.mli: Apex_mapper Apex_peak Place Route

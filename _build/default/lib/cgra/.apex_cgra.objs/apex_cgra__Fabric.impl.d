@@ -1,0 +1,1 @@
+lib/cgra/fabric.ml: Apex_models List

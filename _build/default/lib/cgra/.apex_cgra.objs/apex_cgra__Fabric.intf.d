@@ -1,0 +1,1 @@
+lib/cgra/fabric.mli: Apex_models

@@ -1,0 +1,1 @@
+lib/cgra/place.ml: Apex_mapper Array Fabric Float Hashtbl List Printf Random

@@ -1,0 +1,1 @@
+lib/cgra/place.mli: Apex_mapper Fabric

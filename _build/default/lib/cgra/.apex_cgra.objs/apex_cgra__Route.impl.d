@@ -1,0 +1,1 @@
+lib/cgra/route.ml: Apex_dfg Apex_mapper Apex_merging Array Fabric Hashtbl List Option Place Printf Set

@@ -1,0 +1,1 @@
+lib/cgra/route.mli: Apex_dfg Apex_mapper Place

@@ -1,0 +1,1 @@
+lib/cgra/sim.ml: Apex_mapper Apex_merging Apex_peak Apex_pipelining Array Bitstream Hashtbl List Option Place Printf

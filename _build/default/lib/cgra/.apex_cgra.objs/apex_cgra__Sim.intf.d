@@ -1,0 +1,1 @@
+lib/cgra/sim.mli: Apex_mapper Apex_peak Apex_pipelining Bitstream Place

@@ -1,0 +1,1 @@
+lib/cgra/verilog_top.ml: Apex_models Apex_peak Buffer Fabric List Printf String

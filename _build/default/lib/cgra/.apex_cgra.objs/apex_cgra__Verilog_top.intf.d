@@ -1,0 +1,1 @@
+lib/cgra/verilog_top.mli: Apex_peak Fabric

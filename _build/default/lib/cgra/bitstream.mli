@@ -1,0 +1,29 @@
+(** Configuration bitstream generation (APEX step 3c).
+
+    Every PE tile hosting an instance receives its instruction — the
+    PE spec's fields packed LSB-first into 32-bit words — and every tile
+    crossed by routing receives its switch-box hop configuration.  The
+    packing is invertible: the fabric simulator configures itself by
+    decoding the bitstream, which closes the hardware/compiler loop the
+    paper checks with VCS. *)
+
+type t = {
+  pe_words : ((int * int) * int list) list;
+      (** tile -> packed instruction words *)
+  sb_words : ((int * int) * int list) list;
+      (** tile -> packed switch-box route words *)
+  total_bits : int;
+}
+
+val generate :
+  Apex_peak.Spec.t -> Place.t -> Apex_mapper.Cover.t -> Route.t -> t
+
+val pack : Apex_peak.Spec.t -> Apex_peak.Spec.instr -> int list
+(** Pack an instruction into 32-bit words, fields LSB-first in spec
+    field order. *)
+
+val unpack : Apex_peak.Spec.t -> int list -> Apex_peak.Spec.instr
+(** Inverse of {!pack}. *)
+
+val instr_at : t -> Apex_peak.Spec.t -> int * int -> Apex_peak.Spec.instr option
+(** Decode the instruction configured at a tile, if any. *)

@@ -1,0 +1,183 @@
+module Cover = Apex_mapper.Cover
+
+exception Does_not_fit of string
+
+type t = {
+  fabric : Fabric.t;
+  loc : (int * int) array;
+  input_locs : (string * (int * int)) list;
+  output_locs : (string * (int * int)) list;
+  wirelength : float;
+}
+
+(* a net: one driver and its sink points; points are either movable
+   instances or fixed coordinates *)
+type point = Inst of int | Fixed of int * int
+
+type net = point array
+
+let input_names (m : Cover.t) =
+  let names = ref [] in
+  let add n = if not (List.mem n !names) then names := n :: !names in
+  Array.iter
+    (fun (inst : Cover.instance) ->
+      List.iter
+        (fun (_, drv) ->
+          match (drv : Cover.driver) with
+          | Cover.From_input n -> add n
+          | Cover.From_pe _ -> ())
+        inst.inputs)
+    m.instances;
+  List.iter
+    (fun (_, drv) ->
+      match (drv : Cover.driver) with
+      | Cover.From_input n -> add n
+      | Cover.From_pe _ -> ())
+    m.outputs;
+  List.rev !names
+
+let build_nets (m : Cover.t) ~input_loc ~output_loc =
+  (* nets keyed by driver *)
+  let tbl : (string, point list) Hashtbl.t = Hashtbl.create 64 in
+  let key (drv : Cover.driver) =
+    match drv with
+    | Cover.From_input n -> "i:" ^ n
+    | Cover.From_pe (j, pos) -> Printf.sprintf "p:%d:%d" j pos
+  in
+  let src (drv : Cover.driver) =
+    match drv with
+    | Cover.From_input n ->
+        let x, y = input_loc n in
+        Fixed (x, y)
+    | Cover.From_pe (j, _) -> Inst j
+  in
+  let add drv sink =
+    let k = key drv in
+    let prev =
+      match Hashtbl.find_opt tbl k with
+      | Some l -> l
+      | None -> [ src drv ]
+    in
+    Hashtbl.replace tbl k (sink :: prev)
+  in
+  Array.iter
+    (fun (inst : Cover.instance) ->
+      List.iter (fun (_, drv) -> add drv (Inst inst.id)) inst.inputs)
+    m.instances;
+  List.iter
+    (fun (name, drv) ->
+      let x, y = output_loc name in
+      add drv (Fixed (x, y)))
+    m.outputs;
+  Hashtbl.fold (fun _ points acc -> Array.of_list points :: acc) tbl []
+  |> List.sort compare |> Array.of_list
+
+let net_hpwl loc (net : net) =
+  let minx = ref max_int and maxx = ref min_int in
+  let miny = ref max_int and maxy = ref min_int in
+  Array.iter
+    (fun p ->
+      let x, y = match p with Inst i -> loc.(i) | Fixed (x, y) -> (x, y) in
+      if x < !minx then minx := x;
+      if x > !maxx then maxx := x;
+      if y < !miny then miny := y;
+      if y > !maxy then maxy := y)
+    net;
+  float_of_int (!maxx - !minx + (!maxy - !miny))
+
+let total_cost loc nets =
+  Array.fold_left (fun acc net -> acc +. net_hpwl loc net) 0.0 nets
+
+let place ?(seed = 1) ?(effort = 1) fabric (m : Cover.t) =
+  let n = Array.length m.instances in
+  let pe_tiles = Array.of_list (Fabric.pe_positions fabric) in
+  if n > Array.length pe_tiles then
+    raise
+      (Does_not_fit
+         (Printf.sprintf "%d instances > %d PE tiles" n (Array.length pe_tiles)));
+  let inputs = input_names m in
+  let input_locs =
+    List.mapi (fun i name -> (name, Fabric.io_west fabric i)) inputs
+  in
+  let output_locs =
+    List.mapi (fun i (name, _) -> (name, Fabric.io_east fabric i)) m.outputs
+  in
+  let input_loc name = List.assoc name input_locs in
+  let output_loc name = List.assoc name output_locs in
+  let nets = build_nets m ~input_loc ~output_loc in
+  (* initial placement: row-major *)
+  let loc = Array.init n (fun i -> pe_tiles.(i)) in
+  let occupied : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri (fun i p -> Hashtbl.replace occupied p i) loc;
+  let nets_of = Array.make n [] in
+  Array.iteri
+    (fun ni net ->
+      Array.iter
+        (function
+          | Inst i -> if not (List.mem ni nets_of.(i)) then nets_of.(i) <- ni :: nets_of.(i)
+          | Fixed _ -> ())
+        net)
+    nets;
+  let cost = ref (total_cost loc nets) in
+  if effort > 0 && n > 1 then begin
+    let st = Random.State.make [| seed |] in
+    let moves_per_t = 20 * n * effort in
+    let t = ref (Float.max 1.0 (!cost *. 0.05)) in
+    let delta_for is =
+      (* recompute nets touching the moved instances *)
+      let nets_touched =
+        List.sort_uniq compare (List.concat_map (fun i -> nets_of.(i)) is)
+      in
+      List.fold_left (fun acc ni -> acc +. net_hpwl loc nets.(ni)) 0.0 nets_touched
+    in
+    while !t > 0.05 do
+      for _ = 1 to moves_per_t do
+        let i = Random.State.int st n in
+        let target = pe_tiles.(Random.State.int st (Array.length pe_tiles)) in
+        let old_i = loc.(i) in
+        if target <> old_i then begin
+          match Hashtbl.find_opt occupied target with
+          | Some j when j = i -> ()
+          | Some j ->
+              (* swap i and j *)
+              let before = delta_for [ i; j ] in
+              loc.(i) <- target;
+              loc.(j) <- old_i;
+              let after = delta_for [ i; j ] in
+              let d = after -. before in
+              if d <= 0.0 || Random.State.float st 1.0 < exp (-.d /. !t) then begin
+                Hashtbl.replace occupied target i;
+                Hashtbl.replace occupied old_i j;
+                cost := !cost +. d
+              end
+              else begin
+                loc.(i) <- old_i;
+                loc.(j) <- target
+              end
+          | None ->
+              let before = delta_for [ i ] in
+              loc.(i) <- target;
+              let after = delta_for [ i ] in
+              let d = after -. before in
+              if d <= 0.0 || Random.State.float st 1.0 < exp (-.d /. !t) then begin
+                Hashtbl.remove occupied old_i;
+                Hashtbl.replace occupied target i;
+                cost := !cost +. d
+              end
+              else loc.(i) <- old_i
+        end
+      done;
+      t := !t *. 0.8
+    done
+  end;
+  { fabric;
+    loc;
+    input_locs;
+    output_locs;
+    wirelength = total_cost loc nets }
+
+let hpwl p (m : Cover.t) =
+  let input_loc name = List.assoc name p.input_locs in
+  let output_loc name = List.assoc name p.output_locs in
+  let nets = build_nets m ~input_loc ~output_loc in
+  total_cost p.loc nets

@@ -1,0 +1,24 @@
+(** Simulated-annealing placement of a mapped application onto the
+    fabric's PE tiles.  Input streams are pinned to the west edge and
+    output streams to the east edge; the annealer minimizes total
+    half-perimeter wirelength. *)
+
+exception Does_not_fit of string
+
+type t = {
+  fabric : Fabric.t;
+  loc : (int * int) array;             (** instance index -> tile *)
+  input_locs : (string * (int * int)) list;
+  output_locs : (string * (int * int)) list;
+  wirelength : float;                  (** final HPWL cost *)
+}
+
+val place : ?seed:int -> ?effort:int -> Fabric.t -> Apex_mapper.Cover.t -> t
+(** [effort] scales the annealing schedule (default 1; 0 = greedy
+    initial placement only, for fast estimates).
+    @raise Does_not_fit when the application needs more PE tiles than
+    the fabric has. *)
+
+val hpwl : t -> Apex_mapper.Cover.t -> float
+(** Recompute the half-perimeter wirelength of a placement (exposed for
+    testing and for the annealing ablation). *)

@@ -1,0 +1,227 @@
+module Op = Apex_dfg.Op
+module D = Apex_merging.Datapath
+module Cover = Apex_mapper.Cover
+
+type hop = (int * int) * (int * int)
+
+type net = {
+  name : string;
+  width : Op.width;
+  source : int * int;
+  sinks : (int * int) list;
+  tree : hop list;
+  tracks : (hop * int) list;
+  (** concrete track index used on each hop (detailed routing) *)
+}
+
+type t = {
+  nets : net list;
+  word_hops : int;
+  bit_hops : int;
+  overuse : int;
+  iterations : int;
+}
+
+(* net extraction: one net per (driver, width) with its sink tiles *)
+let extract_nets (p : Place.t) (m : Cover.t) =
+  let tbl : (string, Op.width * (int * int) * (int * int) list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* all routed nets are treated as 16-bit; the fabric's 1-bit tracks
+     are plentiful and our applications route words between PEs *)
+  let src_of (drv : Cover.driver) =
+    match drv with
+    | Cover.From_input n -> List.assoc n p.input_locs
+    | Cover.From_pe (j, _) -> p.loc.(j)
+  in
+  let key (drv : Cover.driver) =
+    match drv with
+    | Cover.From_input n -> "i:" ^ n
+    | Cover.From_pe (j, pos) -> Printf.sprintf "p:%d:%d" j pos
+  in
+  let add drv sink =
+    let k = key drv in
+    match Hashtbl.find_opt tbl k with
+    | Some (w, src, sinks) ->
+        if not (List.mem sink sinks) then
+          Hashtbl.replace tbl k (w, src, sink :: sinks)
+    | None -> Hashtbl.replace tbl k (Op.Word, src_of drv, [ sink ])
+  in
+  Array.iteri
+    (fun idx (inst : Cover.instance) ->
+      List.iter (fun (_, drv) -> add drv p.loc.(idx)) inst.inputs;
+      ignore idx)
+    m.instances;
+  List.iter
+    (fun (name, drv) -> add drv (List.assoc name p.output_locs))
+    m.outputs;
+  Hashtbl.fold
+    (fun name (w, src, sinks) acc -> (name, w, src, sinks) :: acc)
+    tbl []
+  |> List.sort compare
+
+let neighbors fabric (x, y) =
+  List.filter
+    (fun (nx, ny) ->
+      Fabric.in_bounds fabric ~x:nx ~y:ny
+      || nx = -1 || nx = fabric.Fabric.width (* IO columns *))
+    [ (x + 1, y); (x - 1, y); (x, y + 1); (x, y - 1) ]
+
+(* Dijkstra from a set of tree nodes to one target over congestion-aware
+   edge costs *)
+let shortest fabric ~cost ~sources ~target =
+  let dist : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let prev : (int * int, int * int) Hashtbl.t = Hashtbl.create 256 in
+  let module Pq = Set.Make (struct
+    type t = float * (int * int)
+
+    let compare = compare
+  end) in
+  let pq = ref Pq.empty in
+  List.iter
+    (fun s ->
+      Hashtbl.replace dist s 0.0;
+      pq := Pq.add (0.0, s) !pq)
+    sources;
+  let found = ref false in
+  while (not !found) && not (Pq.is_empty !pq) do
+    let ((d, u) as elt) = Pq.min_elt !pq in
+    pq := Pq.remove elt !pq;
+    if d <= Hashtbl.find dist u +. 1e-9 then begin
+      if u = target then found := true
+      else
+        List.iter
+          (fun v ->
+            let c = d +. cost (u, v) in
+            let better =
+              match Hashtbl.find_opt dist v with
+              | None -> true
+              | Some dv -> c < dv -. 1e-12
+            in
+            if better then begin
+              Hashtbl.replace dist v c;
+              Hashtbl.replace prev v u;
+              pq := Pq.add (c, v) !pq
+            end)
+          (neighbors fabric u)
+    end
+  done;
+  if not !found then None
+  else begin
+    let rec walk node acc =
+      match Hashtbl.find_opt prev node with
+      | None -> acc
+      | Some p -> walk p ((p, node) :: acc)
+    in
+    Some (walk target [])
+  end
+
+let route_net fabric ~cost ~source ~sinks =
+  (* grow a tree: route each sink from the current tree *)
+  let tree_nodes = ref [ source ] in
+  let tree_edges = ref [] in
+  let sinks =
+    List.sort
+      (fun a b ->
+        let d (x, y) = abs (x - fst source) + abs (y - snd source) in
+        compare (d a) (d b))
+      sinks
+  in
+  let ok = ref true in
+  List.iter
+    (fun sink ->
+      if !ok && not (List.mem sink !tree_nodes) then
+        match shortest fabric ~cost ~sources:!tree_nodes ~target:sink with
+        | None -> ok := false
+        | Some path ->
+            List.iter
+              (fun ((_, b) as e) ->
+                if not (List.mem e !tree_edges) then tree_edges := e :: !tree_edges;
+                if not (List.mem b !tree_nodes) then tree_nodes := b :: !tree_nodes)
+              path)
+    sinks;
+  if !ok then Some (List.rev !tree_edges) else None
+
+let route ?(max_iters = 30) (p : Place.t) (m : Cover.t) =
+  let fabric = p.fabric in
+  let nets = extract_nets p m in
+  let capacity = fabric.Fabric.params.word_tracks in
+  let usage : (hop, int) Hashtbl.t = Hashtbl.create 1024 in
+  let history : (hop, float) Hashtbl.t = Hashtbl.create 1024 in
+  let get tbl k d = Option.value ~default:d (Hashtbl.find_opt tbl k) in
+  let routed = ref [] in
+  let iterations = ref 0 in
+  let legal = ref false in
+  while (not !legal) && !iterations < max_iters do
+    incr iterations;
+    Hashtbl.reset usage;
+    routed := [];
+    List.iter
+      (fun (name, width, source, sinks) ->
+        let cost (e : hop) =
+          let u = get usage e 0 in
+          let h = get history e 0.0 in
+          let over = if u >= capacity then 4.0 *. float_of_int (u - capacity + 1) else 0.0 in
+          1.0 +. h +. over
+        in
+        match route_net fabric ~cost ~source ~sinks with
+        | None -> failwith ("Route: net unroutable: " ^ name)
+        | Some tree ->
+            List.iter (fun e -> Hashtbl.replace usage e (get usage e 0 + 1)) tree;
+            routed := { name; width; source; sinks; tree; tracks = [] } :: !routed)
+      nets;
+    (* congestion check *)
+    let over = ref 0 in
+    Hashtbl.iter
+      (fun e u ->
+        if u > capacity then begin
+          incr over;
+          Hashtbl.replace history e (get history e 0.0 +. 1.0)
+        end)
+      usage;
+    if !over = 0 then legal := true
+  done;
+  (* detailed routing: give each net a concrete track index per hop
+     (first free track on that boundary, in net order) *)
+  let track_next : (hop, int) Hashtbl.t = Hashtbl.create 256 in
+  let nets =
+    List.rev_map
+      (fun n ->
+        let tracks =
+          List.map
+            (fun e ->
+              let t = get track_next e 0 in
+              Hashtbl.replace track_next e (t + 1);
+              (e, t))
+            n.tree
+        in
+        { n with tracks })
+      !routed
+  in
+  let word_hops, bit_hops =
+    List.fold_left
+      (fun (w, b) n ->
+        match n.width with
+        | Op.Word -> (w + List.length n.tree, b)
+        | Op.Bit -> (w, b + List.length n.tree))
+      (0, 0) nets
+  in
+  let overuse =
+    let count = ref 0 in
+    Hashtbl.iter (fun _ u -> if u > capacity then incr count) usage;
+    !count
+  in
+  { nets; word_hops; bit_hops; overuse; iterations = !iterations }
+
+let tiles_touched t =
+  List.concat_map (fun n -> List.concat_map (fun (a, b) -> [ a; b ]) n.tree) t.nets
+  |> List.sort_uniq compare
+
+let routing_only_tiles t (p : Place.t) (m : Cover.t) =
+  let pe_tiles = Array.to_list p.loc in
+  ignore m;
+  tiles_touched t
+  |> List.filter (fun tile ->
+         Fabric.in_bounds p.fabric ~x:(fst tile) ~y:(snd tile)
+         && not (List.mem tile pe_tiles))
+  |> List.length

@@ -1,0 +1,1 @@
+lib/core/dse.ml: Apex_dfg Apex_halide Apex_mapper Apex_merging Apex_mining Apex_peak Hashtbl List Metrics Printf String Variants

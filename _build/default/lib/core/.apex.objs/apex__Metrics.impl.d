@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Apex_cgra Apex_halide Apex_mapper Apex_merging Apex_models Apex_peak Apex_pipelining Array Float Variants

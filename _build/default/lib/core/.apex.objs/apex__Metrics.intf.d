@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Apex_halide Apex_mapper Variants

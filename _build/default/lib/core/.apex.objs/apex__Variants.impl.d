@@ -1,0 +1,1 @@
+lib/core/variants.ml: Apex_halide Apex_mapper Apex_merging Apex_mining Apex_peak Hashtbl List Printf

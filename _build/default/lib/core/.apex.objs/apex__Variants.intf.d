@@ -1,0 +1,1 @@
+lib/core/variants.mli: Apex_halide Apex_mapper Apex_merging Apex_mining

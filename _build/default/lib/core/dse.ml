@@ -1,0 +1,117 @@
+module Apps = Apex_halide.Apps
+
+let cache : (string, Variants.t) Hashtbl.t = Hashtbl.create 16
+
+let memo key f =
+  match Hashtbl.find_opt cache key with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      Hashtbl.replace cache key v;
+      v
+
+let baseline () = memo "base" Variants.baseline
+
+let pe_k (app : Apps.t) k =
+  memo
+    (Printf.sprintf "pek:%s:%d" app.name k)
+    (fun () ->
+      if k = 0 then { (Variants.pe1 app) with name = "PE 1" }
+      else Variants.specialized app ~n_subgraphs:k)
+
+let camera_variants () =
+  let camera = Apps.by_name "camera" in
+  baseline () :: List.init 4 (fun k -> pe_k camera k)
+
+(* area-energy score of a variant on one application, post-mapping *)
+let score v app =
+  let pm, _ = Metrics.post_mapping v app in
+  pm.Metrics.total_pe_area *. pm.Metrics.pe_energy_per_output
+
+let pe_spec ?(max_subgraphs = 5) (app : Apps.t) =
+  memo
+    (Printf.sprintf "spec:%s" app.name)
+    (fun () ->
+      let ranked = Variants.analysis_of app in
+      let available =
+        min max_subgraphs (List.length (Variants.interesting_patterns ranked))
+      in
+      let rec climb k best best_score =
+        if k > available then best
+        else begin
+          let cand = pe_k app k in
+          match score cand app with
+          | s when s < best_score -> climb (k + 1) cand s
+          | _ -> best (* stop at the first non-improvement *)
+          | exception Apex_mapper.Cover.Unmappable _ -> best
+        end
+      in
+      let first = pe_k app 0 in
+      let v = climb 1 first (score first app) in
+      { v with name = "PE Spec" })
+
+let ip_apps () =
+  List.map Apps.by_name [ "camera"; "harris"; "gaussian"; "unsharp" ]
+
+let ml_apps () = List.map Apps.by_name [ "resnet"; "mobilenet" ]
+
+let pe_ip () =
+  memo "ip" (fun () -> Variants.domain ~name:"PE IP" ~per_app:2 (ip_apps ()))
+
+let pe_ip2 () =
+  memo "ip2" (fun () -> Variants.domain ~name:"PE IP2" ~per_app:4 (ip_apps ()))
+
+let pe_ip3 () =
+  memo "ip3" (fun () ->
+      (* unbalanced merge: camera-heavy subgraph selection *)
+      let camera = Apps.by_name "camera" in
+      let camera_patterns =
+        List.filteri (fun i _ -> i < 3)
+          (Variants.interesting_patterns (Variants.analysis_of camera))
+      in
+      let domain = Variants.domain ~name:"PE IP3" ~per_app:1 (ip_apps ()) in
+      let seeded =
+        Apex_peak.Library.subset
+          ~ops:
+            (List.concat_map
+               (fun (a : Apps.t) -> Apex_peak.Library.ops_of_graph a.graph)
+               (ip_apps ())
+            |> List.sort_uniq Apex_dfg.Op.compare)
+      in
+      let patterns =
+        (* camera's top three, then whatever the balanced selection adds *)
+        let seen = Hashtbl.create 8 in
+        List.filter
+          (fun p ->
+            let code = Apex_mining.Pattern.code p in
+            if Hashtbl.mem seen code then false
+            else begin
+              Hashtbl.replace seen code ();
+              true
+            end)
+          (camera_patterns @ domain.patterns)
+      in
+      let dp =
+        List.fold_left
+          (fun dp p -> fst (Apex_merging.Merge.merge dp p))
+          seeded patterns
+      in
+      { name = "PE IP3";
+        dp;
+        patterns;
+        rules = Apex_mapper.Rules.rule_set dp ~patterns })
+
+let pe_ml () =
+  memo "ml" (fun () -> Variants.domain ~name:"PE ML" ~per_app:2 (ml_apps ()))
+
+let variant_for name =
+  match String.split_on_char ':' name with
+  | [ "base" ] -> baseline ()
+  | [ "ip" ] -> pe_ip ()
+  | [ "ip2" ] -> pe_ip2 ()
+  | [ "ip3" ] -> pe_ip3 ()
+  | [ "ml" ] -> pe_ml ()
+  | [ "spec"; app ] -> pe_spec (Apps.by_name app)
+  | [ "pe1"; app ] -> pe_k (Apps.by_name app) 0
+  | [ "pek"; app; k ] -> pe_k (Apps.by_name app) (int_of_string k)
+  | _ -> invalid_arg ("Dse.variant_for: unknown variant " ^ name)

@@ -1,0 +1,36 @@
+(** The APEX design-space exploration flow (Fig. 6): canned variant
+    families matching the paper's experiments, with memoization of the
+    expensive steps (mining, merging, rule synthesis). *)
+
+val camera_variants : unit -> Variants.t list
+(** PE Base, PE 1 ... PE 4 for the camera pipeline (Section 5.1,
+    Table 2 / Fig. 11). *)
+
+val pe_spec : ?max_subgraphs:int -> Apex_halide.Apps.t -> Variants.t
+(** The most specialized PE for an application: subgraphs are merged in
+    MIS order while the post-mapping area-energy product keeps
+    improving (Section 5's "most specialized PE possible without
+    increasing the area or energy"). *)
+
+val ip_apps : unit -> Apex_halide.Apps.t list
+(** camera, harris, gaussian, unsharp. *)
+
+val ml_apps : unit -> Apex_halide.Apps.t list
+(** resnet, mobilenet. *)
+
+val pe_ip : unit -> Variants.t
+(** Balanced image-processing domain PE (Section 5.2). *)
+
+val pe_ip2 : unit -> Variants.t
+(** Over-merged variant: twice the subgraphs per application. *)
+
+val pe_ip3 : unit -> Variants.t
+(** Unbalanced variant specialized toward the camera pipeline. *)
+
+val pe_ml : unit -> Variants.t
+(** Machine-learning domain PE. *)
+
+val variant_for : string -> Variants.t
+(** Lookup by the names used in the benches: "base", "spec:<app>",
+    "ip", "ip2", "ip3", "ml", "pe1:<app>", "pek:<app>:<k>".
+    @raise Invalid_argument on unknown names. *)

@@ -1,0 +1,60 @@
+(** Evaluation metrics at the paper's three reporting levels
+    (Section 5.3): post-mapping (PE cores only, minutes-level estimate),
+    post-place-and-route (adds the interconnect) and post-pipelining
+    (adds PE/application pipelining and performance). *)
+
+type post_mapping = {
+  n_pes : int;                 (** PE instances the application needs *)
+  pe_area : float;             (** um^2 per PE core *)
+  total_pe_area : float;       (** n_pes * pe_area (Table 2 "Total Area") *)
+  pe_energy_per_output : float;(** fJ per output element, PE cores only *)
+  utilization : float;         (** application ops per PE *)
+}
+
+type post_pnr = {
+  pm : post_mapping;
+  fabric_width : int;
+  fabric_height : int;
+  sb_area : float;             (** switch boxes of all used tiles, um^2 *)
+  cb_area : float;             (** connection boxes of used PE tiles *)
+  mem_area : float;
+  io_area : float;
+  total_area : float;          (** PE cores + interconnect + MEM + IO, um^2 *)
+  interconnect_energy_per_output : float;  (** fJ: SB hops + CBs *)
+  mem_energy_per_output : float;
+  total_energy_per_output : float;
+  routing_tiles : int;         (** routing-only tiles (Table 3) *)
+  word_hops : int;
+  wirelength : float;
+}
+
+type post_pipelining = {
+  pnr : post_pnr;
+  pe_stages : int;
+  period_ps : float;           (** post-pipelining clock *)
+  pre_period_ps : float;       (** combinational-PE clock *)
+  n_regs : int;                (** balancing registers (Table 3 #Reg) *)
+  n_reg_files : int;           (** register-file FIFOs (Table 3 #RF) *)
+  depth_cycles : int;
+  cycles_per_run : int;        (** one frame / layer *)
+  runtime_ms : float;
+  pre_runtime_ms : float;
+  perf_per_mm2 : float;        (** runs per ms per mm^2 (Table 2) *)
+  pre_perf_per_mm2 : float;
+  reg_area : float;
+  reg_energy_per_output : float;
+}
+
+val post_mapping :
+  Variants.t -> Apex_halide.Apps.t -> post_mapping * Apex_mapper.Cover.t
+(** Map the application and report PE-core metrics.
+    @raise Apex_mapper.Cover.Unmappable if the variant's rules cannot
+    cover the application. *)
+
+val post_pnr :
+  ?effort:int -> Variants.t -> Apex_halide.Apps.t -> post_pnr * Apex_mapper.Cover.t
+(** Place and route on an auto-sized fabric (32x16 unless the
+    application needs more rows). *)
+
+val post_pipelining :
+  ?effort:int -> ?rf_cutoff:int -> Variants.t -> Apex_halide.Apps.t -> post_pipelining

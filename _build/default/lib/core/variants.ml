@@ -1,0 +1,92 @@
+module Pattern = Apex_mining.Pattern
+module Analysis = Apex_mining.Analysis
+module Miner = Apex_mining.Miner
+module Merge = Apex_merging.Merge
+module D = Apex_merging.Datapath
+module Library = Apex_peak.Library
+module Rules = Apex_mapper.Rules
+module Apps = Apex_halide.Apps
+
+type t = {
+  name : string;
+  dp : D.t;
+  patterns : Pattern.t list;
+  rules : Rules.t list;
+}
+
+let default_mining = { Miner.default_config with max_size = 4 }
+
+let analysis_cache : (string * string, Analysis.ranked list) Hashtbl.t =
+  Hashtbl.create 16
+
+let config_key (c : Miner.config) =
+  Printf.sprintf "%d/%d/%b/%d" c.min_support c.max_size c.include_consts
+    c.max_subgraphs
+
+let analysis_of ?(config = default_mining) (app : Apps.t) =
+  let key = (app.name, config_key config) in
+  match Hashtbl.find_opt analysis_cache key with
+  | Some r -> r
+  | None ->
+      let ranked, _ = Analysis.analyze ~config app.graph in
+      Hashtbl.replace analysis_cache key ranked;
+      ranked
+
+let interesting_patterns ?(min_mis = 4) ranked =
+  List.filter_map
+    (fun (r : Analysis.ranked) ->
+      if r.mis_size >= min_mis && Pattern.size r.pattern >= 2 then
+        Some r.pattern
+      else None)
+    ranked
+
+let make name dp patterns =
+  { name; dp; patterns; rules = Rules.rule_set dp ~patterns }
+
+let baseline () = make "PE Base" (Library.baseline ()) []
+
+let pe1 (app : Apps.t) =
+  make "PE 1" (Library.subset ~ops:(Library.ops_of_graph app.graph)) []
+
+let merge_into dp patterns =
+  List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns
+
+let specialized ?(config = default_mining) (app : Apps.t) ~n_subgraphs =
+  let ranked = analysis_of ~config app in
+  let patterns =
+    List.filteri (fun i _ -> i < n_subgraphs) (interesting_patterns ranked)
+  in
+  let dp = Library.subset ~ops:(Library.ops_of_graph app.graph) in
+  make
+    (Printf.sprintf "PE %d" (n_subgraphs + 1))
+    (merge_into dp patterns) patterns
+
+let domain ?(config = default_mining) ~name ?(per_app = 2) (apps : Apps.t list) =
+  (* a domain PE keeps the full baseline operation set: it must stay
+     programmable for applications of the domain that were never
+     analyzed (the Fig. 13 generalization experiment) *)
+  let ops = Library.baseline_ops in
+  (* the paper's Fig. 10 shades per-application subgraphs into PE IP:
+     take the top [per_app] patterns of each application (round robin,
+     deduplicated) so every application contributes its own idioms *)
+  let per_app_ranked =
+    List.map (fun (a : Apps.t) -> interesting_patterns (analysis_of ~config a))
+      apps
+  in
+  let seen = Hashtbl.create 16 in
+  let patterns = ref [] in
+  for round = 0 to per_app - 1 do
+    List.iter
+      (fun ranked ->
+        match List.nth_opt ranked round with
+        | Some p ->
+            let code = Pattern.code p in
+            if not (Hashtbl.mem seen code) then begin
+              Hashtbl.replace seen code ();
+              patterns := p :: !patterns
+            end
+        | None -> ())
+      per_app_ranked
+  done;
+  let patterns = List.rev !patterns in
+  make name (merge_into (Library.subset ~ops) patterns) patterns

@@ -1,0 +1,1 @@
+lib/dfg/dot.ml: Array Buffer Fun Graph List Op Printf

@@ -1,0 +1,1 @@
+lib/dfg/interp.mli: Graph Random

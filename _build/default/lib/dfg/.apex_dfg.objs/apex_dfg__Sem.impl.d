@@ -1,0 +1,1 @@
+lib/dfg/sem.ml: Array Op

@@ -1,0 +1,1 @@
+lib/dfg/sem.mli: Op

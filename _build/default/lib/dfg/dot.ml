@@ -1,0 +1,34 @@
+let to_string ?(name = "dfg") ?(highlight = []) g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
+  Array.iter
+    (fun (n : Graph.node) ->
+      let shape =
+        if Op.is_io n.op then "oval"
+        else if Op.is_const n.op then "diamond"
+        else "box"
+      in
+      let style =
+        if List.mem n.id highlight then ", style=filled, fillcolor=lightblue"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" n.id
+           (Op.mnemonic n.op) shape style))
+    (Graph.nodes g);
+  Array.iter
+    (fun (n : Graph.node) ->
+      Array.iteri
+        (fun port a ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" a n.id port))
+        n.args)
+    (Graph.nodes g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_file ?name ?highlight path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name ?highlight g))

@@ -1,0 +1,7 @@
+(** Graphviz export of dataflow graphs, for inspecting mined subgraphs
+    and merged datapaths. *)
+
+val to_string : ?name:string -> ?highlight:int list -> Graph.t -> string
+(** DOT source.  Nodes in [highlight] are filled. *)
+
+val to_file : ?name:string -> ?highlight:int list -> string -> Graph.t -> unit

@@ -1,0 +1,49 @@
+let mask v = v land 0xffff
+
+let to_signed v =
+  let v = mask v in
+  if v >= 0x8000 then v - 0x10000 else v
+
+let of_signed v = mask v
+
+let bool b = if b then 1 else 0
+
+(* Shift amounts >= 16 saturate: logical shifts produce 0, arithmetic
+   right shift produces the sign fill, matching the generated RTL. *)
+let shift_amount b = if mask b >= 16 then 16 else mask b
+
+let eval op (args : int array) =
+  let a i = args.(i) in
+  match (op : Op.t) with
+  | Op.Add -> mask (a 0 + a 1)
+  | Op.Sub -> mask (a 0 - a 1)
+  | Op.Mul -> mask (a 0 * a 1)
+  | Op.Shl -> mask (a 0 lsl shift_amount (a 1))
+  | Op.Lshr -> mask (mask (a 0) lsr shift_amount (a 1))
+  | Op.Ashr ->
+      let s = to_signed (a 0) in
+      of_signed (s asr shift_amount (a 1))
+  | Op.And -> mask (a 0 land a 1)
+  | Op.Or -> mask (a 0 lor a 1)
+  | Op.Xor -> mask (a 0 lxor a 1)
+  | Op.Not -> mask (lnot (a 0))
+  | Op.Abs -> of_signed (abs (to_signed (a 0)))
+  | Op.Smax -> if to_signed (a 0) >= to_signed (a 1) then mask (a 0) else mask (a 1)
+  | Op.Smin -> if to_signed (a 0) <= to_signed (a 1) then mask (a 0) else mask (a 1)
+  | Op.Umax -> if mask (a 0) >= mask (a 1) then mask (a 0) else mask (a 1)
+  | Op.Umin -> if mask (a 0) <= mask (a 1) then mask (a 0) else mask (a 1)
+  | Op.Eq -> bool (mask (a 0) = mask (a 1))
+  | Op.Neq -> bool (mask (a 0) <> mask (a 1))
+  | Op.Slt -> bool (to_signed (a 0) < to_signed (a 1))
+  | Op.Sle -> bool (to_signed (a 0) <= to_signed (a 1))
+  | Op.Ult -> bool (mask (a 0) < mask (a 1))
+  | Op.Ule -> bool (mask (a 0) <= mask (a 1))
+  | Op.Mux -> if a 0 land 1 = 1 then mask (a 1) else mask (a 2)
+  | Op.Lut tt ->
+      let idx = ((a 0 land 1) lsl 2) lor ((a 1 land 1) lsl 1) lor (a 2 land 1) in
+      (tt lsr idx) land 1
+  | Op.Const v -> mask v
+  | Op.Bit_const b -> bool b
+  | Op.Reg | Op.Reg_file _ -> mask (a 0)
+  | Op.Input _ | Op.Bit_input _ | Op.Output _ | Op.Bit_output _ ->
+      invalid_arg ("Sem.eval: no combinational semantics for " ^ Op.mnemonic op)

@@ -1,0 +1,21 @@
+(** 16-bit word semantics shared by the graph interpreter, the PEak
+    functional model and the bit-vector verifier.
+
+    Words are stored as OCaml [int]s in [0, 0xffff]; bits as [0] or [1].
+    Signed operations interpret words as two's complement. *)
+
+val mask : int -> int
+(** Truncate to 16 bits. *)
+
+val to_signed : int -> int
+(** Two's-complement value of a 16-bit word, in [-32768, 32767]. *)
+
+val of_signed : int -> int
+(** Inverse of {!to_signed} (masks to 16 bits). *)
+
+val eval : Op.t -> int array -> int
+(** [eval op args] applies a compute or constant operation to fully
+    evaluated arguments.  [Reg] and [Reg_file] are the identity (latency
+    is modelled separately by the pipelining library).
+    @raise Invalid_argument on [Input]/[Output] markers, which have no
+    combinational semantics. *)

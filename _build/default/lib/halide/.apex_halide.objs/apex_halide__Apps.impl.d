@@ -1,0 +1,1 @@
+lib/halide/apps.ml: Apex_dfg Apex_models Array Dsl List Option Printf String

@@ -1,0 +1,1 @@
+lib/halide/apps.mli: Apex_dfg Apex_models

@@ -1,0 +1,1 @@
+lib/halide/dsl.ml: Apex_dfg Array Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/halide/dsl.mli: Apex_dfg

@@ -1,0 +1,1 @@
+lib/halide/linebuffer.ml: Apex_dfg Apps Array Hashtbl List String

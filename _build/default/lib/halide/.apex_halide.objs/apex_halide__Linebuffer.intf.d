@@ -1,0 +1,1 @@
+lib/halide/linebuffer.mli: Apps

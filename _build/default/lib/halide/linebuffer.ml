@@ -1,0 +1,129 @@
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module Interp = Apex_dfg.Interp
+
+type extent = {
+  stream : string;
+  min_dx : int;
+  max_dx : int;
+  min_dy : int;
+  max_dy : int;
+}
+
+(* "s@dx,dy" -> (s, dx, dy); a plain name is a zero-offset tap *)
+let parse_tap name =
+  match String.index_opt name '@' with
+  | None -> (name, 0, 0)
+  | Some i -> (
+      let stream = String.sub name 0 i in
+      let rest = String.sub name (i + 1) (String.length name - i - 1) in
+      match String.split_on_char ',' rest with
+      | [ dx; dy ] -> (stream, int_of_string dx, int_of_string dy)
+      | _ -> invalid_arg ("Linebuffer: bad tap name " ^ name))
+
+let taps (app : Apps.t) =
+  G.io_inputs app.graph
+  |> List.map (fun (n : G.node) ->
+         match n.op with
+         | Op.Input name | Op.Bit_input name -> (name, parse_tap name)
+         | _ -> assert false)
+
+let extents app =
+  let tbl : (string, extent) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (_, (stream, dx, dy)) ->
+      match Hashtbl.find_opt tbl stream with
+      | None ->
+          Hashtbl.replace tbl stream
+            { stream; min_dx = dx; max_dx = dx; min_dy = dy; max_dy = dy }
+      | Some e ->
+          Hashtbl.replace tbl stream
+            { e with
+              min_dx = min e.min_dx dx;
+              max_dx = max e.max_dx dx;
+              min_dy = min e.min_dy dy;
+              max_dy = max e.max_dy dy })
+    (taps app);
+  Hashtbl.fold (fun _ e acc -> e :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.stream b.stream)
+
+let buffer_words ?(width = 1920) app =
+  List.fold_left
+    (fun acc e -> acc + ((e.max_dy - e.min_dy + 1) * width))
+    0 (extents app)
+
+let derived_mem_tiles ?(width = 1920) app =
+  (* 2 bytes per word, double buffered, 2 x 2KB banks per tile *)
+  let bytes = 2 * 2 * buffer_words ~width app in
+  max 1 ((bytes + 4095) / 4096)
+
+(* trailing digits of an output name select the unrolled column *)
+let parse_output name =
+  let n = String.length name in
+  let rec split i =
+    if i > 0 && name.[i - 1] >= '0' && name.[i - 1] <= '9' then split (i - 1)
+    else i
+  in
+  let i = split n in
+  if i = n then (name, 0)
+  else if i = 0 then ("out", int_of_string name)
+  else (String.sub name 0 i, int_of_string (String.sub name i (n - i)))
+
+let run_image (app : Apps.t) ~width ~height ~source =
+  if width <= 0 || height <= 0 then invalid_arg "Linebuffer.run_image";
+  let exts = extents app in
+  let all_taps = taps app in
+  (* one ring of rows per stream, rows fetched from [source] exactly once *)
+  let rings =
+    List.map
+      (fun e ->
+        let depth = e.max_dy - e.min_dy + 2 in
+        (e.stream, (Array.make depth (-1), Array.init depth (fun _ -> Array.make width 0))))
+      exts
+  in
+  let fetch_row stream y =
+    let tags, rows = List.assoc stream rings in
+    let y = max 0 (min (height - 1) y) in
+    let slot = y mod Array.length tags in
+    if tags.(slot) <> y then begin
+      tags.(slot) <- y;
+      for x = 0 to width - 1 do
+        rows.(slot).(x) <- source stream ~x ~y
+      done
+    end;
+    rows.(slot)
+  in
+  let value stream x y =
+    let row = fetch_row stream y in
+    row.(max 0 (min (width - 1) x))
+  in
+  (* output planes *)
+  let planes : (string, int array array) Hashtbl.t = Hashtbl.create 4 in
+  let plane name =
+    match Hashtbl.find_opt planes name with
+    | Some p -> p
+    | None ->
+        let p = Array.init height (fun _ -> Array.make width 0) in
+        Hashtbl.replace planes name p;
+        p
+  in
+  for y = 0 to height - 1 do
+    let x0 = ref 0 in
+    while !x0 < width do
+      let env =
+        List.map
+          (fun (name, (stream, dx, dy)) -> (name, value stream (!x0 + dx) (y + dy)))
+          all_taps
+      in
+      let outs = Interp.run app.graph env in
+      List.iter
+        (fun (name, v) ->
+          let pname, u = parse_output name in
+          let col = min (width - 1) (!x0 + u) in
+          (plane pname).(y).(col) <- v)
+        outs;
+      x0 := !x0 + app.unroll
+    done
+  done;
+  Hashtbl.fold (fun name p acc -> (name, p) :: acc) planes []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,44 @@
+(** Line-buffered streaming execution of stencil applications — the
+    behavioural model of the memory tiles (Fig. 1: MEM tiles feed the
+    PE array through line buffers).
+
+    The application kernels read named taps ["s@dx,dy"]; this module
+    slides the kernel over a whole image, serving every tap from a
+    line buffer that holds only the last few rows of each input stream,
+    so each source pixel is fetched exactly once — the access pattern
+    the paper's memory tiles implement with their 2KB SRAM banks. *)
+
+type extent = {
+  stream : string;
+  min_dx : int;
+  max_dx : int;
+  min_dy : int;
+  max_dy : int;
+}
+
+val extents : Apps.t -> extent list
+(** Window extents of every input stream, from the tap names. *)
+
+val buffer_words : ?width:int -> Apps.t -> int
+(** 16-bit words of line buffering the application needs at the given
+    image width (default 1920): rows covered by the vertical extent
+    times the row width, summed over streams. *)
+
+val derived_mem_tiles : ?width:int -> Apps.t -> int
+(** Lower bound on memory tiles: {!buffer_words} double-buffered into
+    the 2x2KB banks of one tile.  The per-application [mem_tiles]
+    metadata is at least this value (it also accounts for ports and
+    controller limits). *)
+
+val run_image :
+  Apps.t ->
+  width:int ->
+  height:int ->
+  source:(string -> x:int -> y:int -> int) ->
+  (string * int array array) list
+(** Execute the kernel over a [width] x [height] image.  Border taps
+    clamp to the image.  Returns one plane per output group (trailing
+    digits of output names index the unrolled column): a
+    [height] x [width] matrix (columns past the last full firing keep
+    the last computed value for partial coverage at the right edge).
+    Every source pixel is read exactly once per stream. *)

@@ -1,0 +1,1 @@
+lib/mapper/cover.ml: Apex_dfg Apex_merging Apex_mining Array Format Hashtbl List Option Printf Rules

@@ -1,0 +1,1 @@
+lib/mapper/cover.mli: Apex_dfg Apex_merging Format Rules

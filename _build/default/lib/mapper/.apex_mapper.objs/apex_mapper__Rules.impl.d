@@ -1,0 +1,1 @@
+lib/mapper/rules.ml: Apex_dfg Apex_merging Apex_mining Apex_smt Array Char List Printf String

@@ -1,0 +1,1 @@
+lib/mapper/rules.mli: Apex_merging Apex_mining

@@ -1,0 +1,53 @@
+(** Instruction selection: cover the application dataflow graph with PE
+    configurations using greedy pattern matching, complex rules first
+    (Section 4.1.2, after LLVM's DAG instruction selection).
+
+    The result is the mapped graph of Fig. 7: one PE instance per
+    accepted match, wired by drivers that are either application stream
+    inputs or outputs of other PE instances. *)
+
+type driver =
+  | From_input of string        (** application stream input *)
+  | From_pe of int * int        (** (instance index, PE output position) *)
+
+type instance = {
+  id : int;
+  config : Apex_merging.Datapath.config;
+      (** specialized: constant registers carry the matched constants *)
+  rule_label : string;
+  inputs : (int * driver) list; (** input-port node -> driver *)
+  covered : int list;           (** application compute nodes this PE executes *)
+}
+
+type t = {
+  app : Apex_dfg.Graph.t;
+  instances : instance array;
+  outputs : (string * driver) list;  (** application outputs *)
+}
+
+exception Unmappable of string
+(** Raised when some application node is covered by no rule. *)
+
+type order = Complex_first | Simple_first
+
+val map_app :
+  ?order:order -> rules:Rules.t list -> Apex_dfg.Graph.t -> t
+(** Greedy covering.  [Simple_first] is the ablation baseline.
+    @raise Unmappable when coverage fails. *)
+
+val n_pes : t -> int
+
+val ops_covered : t -> int
+(** Total application compute nodes executed on PEs. *)
+
+val utilization : t -> float
+(** Average compute nodes per PE — the PE-utilization metric that
+    specialization improves. *)
+
+val run : t -> Apex_merging.Datapath.t -> (string * int) list -> (string * int) list
+(** Simulate the mapped graph on the given PE datapath: evaluate every
+    instance in dependency order and return the application outputs.
+    This must agree with {!Apex_dfg.Interp.run} on the original graph —
+    the post-mapping functional check. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/merging/clique.mli:

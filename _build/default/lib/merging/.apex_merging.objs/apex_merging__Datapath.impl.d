@@ -1,0 +1,1 @@
+lib/merging/datapath.ml: Apex_dfg Apex_mining Apex_models Array Buffer Format Hashtbl List Option Printf Queue String

@@ -1,0 +1,1 @@
+lib/merging/datapath.mli: Apex_dfg Apex_mining Format

@@ -1,0 +1,1 @@
+lib/merging/merge.ml: Apex_dfg Apex_models Array Clique Datapath Hashtbl List Option String

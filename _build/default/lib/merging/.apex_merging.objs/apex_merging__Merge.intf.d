@@ -1,0 +1,1 @@
+lib/merging/merge.mli: Apex_mining Datapath

@@ -1,0 +1,24 @@
+(** Maximum-weight clique, used to select the best compatible set of
+    merge opportunities (Section 3.3, Fig. 5d). *)
+
+type problem = {
+  n : int;
+  weight : float array;          (** length [n], nonnegative *)
+  adj : bool array array;        (** symmetric compatibility matrix *)
+}
+
+type solution = {
+  members : int list;    (** vertex indices, increasing *)
+  weight : float;
+  optimal : bool;        (** false when the search budget was exhausted *)
+}
+
+val solve : ?budget:int -> problem -> solution
+(** Branch and bound with a greedy warm start and a sum-of-candidates
+    bound.  [budget] caps the number of search nodes (default 2M);
+    when exceeded, the best clique found so far is returned with
+    [optimal = false]. *)
+
+val greedy : problem -> int list
+(** Greedy heaviest-first clique, used as warm start and as the
+    baseline for the merge-quality ablation. *)

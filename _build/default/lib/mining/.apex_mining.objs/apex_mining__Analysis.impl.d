@@ -1,0 +1,1 @@
+lib/mining/analysis.ml: Apex_dfg Array Format Hashtbl List Miner Mis Pattern String

@@ -1,0 +1,1 @@
+lib/mining/analysis.mli: Apex_dfg Format Miner Pattern

@@ -1,0 +1,1 @@
+lib/mining/match.ml: Apex_dfg Array Fun Hashtbl List Option Pattern

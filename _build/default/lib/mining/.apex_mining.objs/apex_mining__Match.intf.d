@@ -1,0 +1,1 @@
+lib/mining/match.mli: Apex_dfg Pattern

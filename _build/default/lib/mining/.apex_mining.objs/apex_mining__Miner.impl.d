@@ -1,0 +1,1 @@
+lib/mining/miner.ml: Apex_dfg Array Buffer Hashtbl List Pattern String

@@ -1,0 +1,1 @@
+lib/mining/miner.mli: Apex_dfg Pattern

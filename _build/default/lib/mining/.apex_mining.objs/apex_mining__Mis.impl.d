@@ -1,0 +1,1 @@
+lib/mining/mis.ml: Array Hashtbl List Option

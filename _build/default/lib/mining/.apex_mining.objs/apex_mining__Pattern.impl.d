@@ -1,0 +1,1 @@
+lib/mining/pattern.ml: Apex_dfg Array Format Fun Hashtbl List Option Printf String

@@ -1,0 +1,1 @@
+lib/mining/pattern.mli: Apex_dfg Format

@@ -1,0 +1,44 @@
+(** Rooted subgraph-isomorphism matching of a pattern against an
+    application graph — the matcher behind instruction selection
+    (Section 4.1.2) and the test oracle for the miner.
+
+    A match binds every internal (compute/constant) pattern node to a
+    distinct application node with the same operation, such that every
+    internal pattern edge is mirrored with the same port (argument
+    orders of commutative operations may be swapped), and every pattern
+    input is bound consistently to an application node (shared pattern
+    inputs must bind to one application node).  With [wild_consts],
+    constant values and LUT truth tables in the pattern match any
+    constant/table in the graph. *)
+
+type binding = {
+  nodes : (int * int) list;
+  (** internal pattern node id -> application node id *)
+  inputs : (int * int) list;
+  (** pattern input node id -> application node id feeding it *)
+}
+
+val matches_at :
+  ?first_only:bool ->
+  ?wild_consts:bool ->
+  Pattern.t ->
+  Apex_dfg.Graph.t ->
+  root:int ->
+  binding list
+(** All bindings anchoring the pattern's last canonical internal node at
+    application node [root] ([first_only] stops at the first).
+    Requires the pattern's internal nodes to be connected through
+    internal edges, which holds for all mined patterns. *)
+
+val match_at : Pattern.t -> Apex_dfg.Graph.t -> root:int -> binding option
+(** Try to bind the pattern such that its (unique) last internal node in
+    canonical order maps to application node [root].  Patterns with
+    several sinks are matched by their canonical last node. *)
+
+val all_matches : Pattern.t -> Apex_dfg.Graph.t -> binding list
+(** All bindings, by trying every application node as root.  Distinct
+    bindings may cover the same node set (automorphisms); callers that
+    need occurrences as sets should dedupe on the sorted node set. *)
+
+val occurrences : Pattern.t -> Apex_dfg.Graph.t -> int list list
+(** Distinct occurrence node sets (sorted ids), sorted. *)

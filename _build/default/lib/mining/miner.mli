@@ -1,0 +1,43 @@
+(** Frequent subgraph mining on a single application dataflow graph.
+
+    This replaces GRAMI [13] in the APEX flow: it enumerates every
+    connected induced subgraph of the compute portion of the graph up to
+    a size bound (ESU-style enumeration, each node set visited exactly
+    once), canonicalizes each occurrence with {!Pattern}, and reports
+    the patterns whose occurrence count reaches the support threshold. *)
+
+type config = {
+  min_support : int;   (** minimum number of occurrences (paper: the
+                           GRAMI frequency threshold) *)
+  max_size : int;      (** maximum internal nodes per pattern *)
+  include_consts : bool; (** mine constants into patterns (kernel weights
+                             become constant registers, Fig. 2c) *)
+  generalize_consts : bool;
+  (** treat constant values and LUT tables as wildcards, so e.g. all
+      multiply-by-weight subgraphs aggregate into one pattern whose
+      constant becomes a configurable register *)
+  max_subgraphs : int; (** enumeration budget; a warning count is
+                           reported when reached (no silent caps) *)
+}
+
+val default_config : config
+(** [min_support = 2], [max_size = 5], constants included and generalized, 2M budget. *)
+
+type found = {
+  pattern : Pattern.t;
+  embeddings : int list list;
+  (** sorted node-id sets, one per occurrence (capped, see {!stats}) *)
+  support : int;  (** exact occurrence count *)
+}
+
+type stats = {
+  enumerated : int;   (** connected subgraphs visited *)
+  truncated : bool;   (** enumeration budget exhausted *)
+  capped_patterns : int;
+  (** patterns whose stored embedding list hit the per-pattern cap
+      (4000); their [support] stays exact but MIS runs on the cap *)
+}
+
+val mine : config -> Apex_dfg.Graph.t -> found list * stats
+(** Frequent patterns sorted by decreasing support, then decreasing
+    size, then canonical code. *)

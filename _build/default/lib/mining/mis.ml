@@ -1,0 +1,113 @@
+type overlap_graph = { n : int; edges : (int * int) list }
+
+let overlap_graph embeddings =
+  let embs = Array.of_list embeddings in
+  let n = Array.length embs in
+  (* map node id -> embeddings containing it, then connect all pairs *)
+  let by_node : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i emb ->
+      List.iter
+        (fun v ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt by_node v) in
+          Hashtbl.replace by_node v (i :: prev))
+        emb)
+    embs;
+  let edge_set = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ is ->
+      let is = List.sort compare is in
+      let rec pairs = function
+        | [] -> ()
+        | i :: rest ->
+            List.iter (fun j -> Hashtbl.replace edge_set (i, j) ()) rest;
+            pairs rest
+      in
+      pairs is)
+    by_node;
+  let edges =
+    Hashtbl.fold (fun e () acc -> e :: acc) edge_set [] |> List.sort compare
+  in
+  { n; edges }
+
+let adjacency g =
+  let adj = Array.make g.n [] in
+  List.iter
+    (fun (i, j) ->
+      adj.(i) <- j :: adj.(i);
+      adj.(j) <- i :: adj.(j))
+    g.edges;
+  Array.map (List.sort_uniq compare) adj
+
+let greedy g =
+  let adj = adjacency g in
+  let alive = Array.make g.n true in
+  let degree i = List.length (List.filter (fun j -> alive.(j)) adj.(i)) in
+  let chosen = ref [] in
+  let remaining = ref g.n in
+  while !remaining > 0 do
+    (* minimum alive degree, smallest index on ties: deterministic *)
+    let best = ref (-1) and best_deg = ref max_int in
+    for i = 0 to g.n - 1 do
+      if alive.(i) then begin
+        let d = degree i in
+        if d < !best_deg then begin
+          best := i;
+          best_deg := d
+        end
+      end
+    done;
+    let v = !best in
+    chosen := v :: !chosen;
+    alive.(v) <- false;
+    decr remaining;
+    List.iter
+      (fun u ->
+        if alive.(u) then begin
+          alive.(u) <- false;
+          decr remaining
+        end)
+      adj.(v)
+  done;
+  List.sort compare !chosen
+
+let exact_maximum ?(node_limit = 64) g =
+  if g.n > node_limit then None
+  else begin
+    let adj = adjacency g in
+    let best = ref [] in
+    (* branch and bound on vertices in increasing order *)
+    let rec go i chosen size blocked =
+      if size + (g.n - i) <= List.length !best then ()
+      else if i = g.n then begin
+        if size > List.length !best then best := chosen
+      end
+      else begin
+        (* branch 1: include i if not blocked *)
+        if not (List.mem i blocked) then
+          go (i + 1) (i :: chosen) (size + 1) (List.rev_append adj.(i) blocked);
+        (* branch 2: exclude i *)
+        go (i + 1) chosen size blocked
+      end
+    in
+    go 0 [] 0 [];
+    Some (List.sort compare !best)
+  end
+
+let first_fit embeddings =
+  (* greedy maximal independent set without materializing the overlap
+     graph: scan embeddings in order, keep those disjoint from every
+     kept one.  Linear in the total embedding size, which matters for
+     patterns with thousands of overlapping occurrences. *)
+  let used = Hashtbl.create 256 in
+  let chosen = ref [] in
+  List.iteri
+    (fun i emb ->
+      if List.for_all (fun v -> not (Hashtbl.mem used v)) emb then begin
+        List.iter (fun v -> Hashtbl.replace used v ()) emb;
+        chosen := i :: !chosen
+      end)
+    embeddings;
+  List.rev !chosen
+
+let mis_size embeddings = List.length (first_fit embeddings)

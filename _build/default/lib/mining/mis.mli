@@ -1,0 +1,33 @@
+(** Maximal independent set analysis of pattern occurrences
+    (Section 3.2).
+
+    Occurrences of a pattern that share application nodes cannot all be
+    accelerated by fully-utilized PEs; the size of an independent set of
+    the occurrence-overlap graph tells how many fully-utilized PEs a
+    pattern is worth. *)
+
+type overlap_graph = {
+  n : int;                 (** one vertex per occurrence *)
+  edges : (int * int) list; (** overlapping pairs, [i < j] *)
+}
+
+val overlap_graph : int list list -> overlap_graph
+(** Build the overlap graph of embeddings (sorted node-id sets): an edge
+    joins two embeddings that share at least one node. *)
+
+val greedy : overlap_graph -> int list
+(** Greedy maximal independent set (repeatedly take a minimum-degree
+    vertex and discard its neighbors).  Sorted, deterministic. *)
+
+val exact_maximum : ?node_limit:int -> overlap_graph -> int list option
+(** Exact maximum independent set by branch and bound; [None] when the
+    graph has more than [node_limit] (default 64) vertices. *)
+
+val first_fit : int list list -> int list
+(** Greedy maximal independent set computed directly on the embedding
+    lists (first fit in list order), without materializing the overlap
+    graph — linear in total embedding size. *)
+
+val mis_size : int list list -> int
+(** [mis_size embeddings] is the size of the {!first_fit} maximal
+    independent set — the paper's MIS ranking metric. *)

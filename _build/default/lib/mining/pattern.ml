@@ -1,0 +1,215 @@
+module G = Apex_dfg.Graph
+module Op = Apex_dfg.Op
+
+type t = { graph : G.t; code : string; size : int; n_inputs : int }
+
+(* Canonicalization: the code is the lexicographically smallest node
+   listing over all topological orderings of the internal (compute and
+   constant) nodes.  External inputs are not part of the ordering; they
+   are named by first use in the emitted code, which makes the code
+   independent of input identity while still distinguishing patterns
+   that share an external source (add(x,x) vs add(x,y)).  For
+   commutative operations both argument orders are explored.  Patterns
+   are small (<= ~8 internal nodes) so the branch-and-bound search is
+   cheap. *)
+
+type state = {
+  g : G.t;
+  internal : int array;              (* internal node ids *)
+  preds : (int, int list) Hashtbl.t; (* internal -> internal preds *)
+}
+
+let is_internal op = Op.is_compute op || Op.is_const op
+
+let build_state g =
+  let internal =
+    Array.of_list
+      (List.filter
+         (fun i -> is_internal (G.node g i).op)
+         (List.init (G.length g) Fun.id))
+  in
+  let internal_set = Hashtbl.create 16 in
+  Array.iter (fun i -> Hashtbl.replace internal_set i ()) internal;
+  let preds = Hashtbl.create 16 in
+  Array.iter
+    (fun i ->
+      let n = G.node g i in
+      let ps =
+        Array.to_list n.args
+        |> List.filter (fun a -> Hashtbl.mem internal_set a)
+      in
+      Hashtbl.replace preds i ps)
+    internal;
+  { g; internal; preds }
+
+(* A naming environment maps external source node ids to "i0"/"b0"
+   style labels, assigned in first-use order. *)
+type naming = { mutable next : int; tbl : (int, string) Hashtbl.t }
+
+let resolve st naming placed_pos arg =
+  match Hashtbl.find_opt placed_pos arg with
+  | Some pos -> (Printf.sprintf "n%d" pos, false)
+  | None -> (
+      match Hashtbl.find_opt naming.tbl arg with
+      | Some l -> (l, false)
+      | None ->
+          let w = Op.result_width (G.node st.g arg).op in
+          let prefix = match w with Op.Word -> "i" | Op.Bit -> "b" in
+          let l = Printf.sprintf "%s%d" prefix naming.next in
+          naming.next <- naming.next + 1;
+          Hashtbl.replace naming.tbl arg l;
+          (l, true))
+
+let copy_naming n = { next = n.next; tbl = Hashtbl.copy n.tbl }
+
+(* Emit the token for a node under the current naming, returning the
+   token together with the updated naming.  For commutative binary
+   operations we return up to two (token, naming) alternatives. *)
+let node_tokens st naming placed_pos id =
+  let n = G.node st.g id in
+  let emit args_order naming =
+    let naming = copy_naming naming in
+    let labels =
+      List.map (fun a -> fst (resolve st naming placed_pos a)) args_order
+    in
+    (Printf.sprintf "%s(%s)" (Op.mnemonic n.op) (String.concat "," labels), naming)
+  in
+  let args = Array.to_list n.args in
+  if Op.is_commutative n.op && List.length args = 2 then
+    match args with
+    | [ a; b ] when a <> b ->
+        let t1 = emit [ a; b ] naming and t2 = emit [ b; a ] naming in
+        if String.equal (fst t1) (fst t2) then [ t1 ] else [ t1; t2 ]
+    | _ -> [ emit args naming ]
+  else [ emit args naming ]
+
+let canonical_code g =
+  let st = build_state g in
+  let n = Array.length st.internal in
+  if n = 0 then ("", [])
+  else begin
+    let best = ref None in
+    let best_order = ref [] in
+    let better partial =
+      (* [partial] is the reversed token list; compare against best *)
+      match !best with
+      | None -> true
+      | Some b ->
+          let s = String.concat ";" (List.rev partial) in
+          (* prefix comparison: prune when strictly greater *)
+          let bl = String.length b and sl = String.length s in
+          let prefix = if sl <= bl then String.sub b 0 sl else b in
+          String.compare s prefix <= 0
+    in
+    let rec go placed placed_pos naming tokens count =
+      if count = n then begin
+        let code = String.concat ";" (List.rev tokens) in
+        match !best with
+        | Some b when String.compare b code <= 0 -> ()
+        | _ ->
+            best := Some code;
+            best_order := List.rev placed
+      end
+      else
+        Array.iter
+          (fun id ->
+            if not (Hashtbl.mem placed_pos id) then begin
+              let ready =
+                List.for_all
+                  (fun p -> Hashtbl.mem placed_pos p)
+                  (Hashtbl.find st.preds id)
+              in
+              if ready then
+                List.iter
+                  (fun (token, naming') ->
+                    let tokens' = token :: tokens in
+                    if better tokens' then begin
+                      Hashtbl.replace placed_pos id count;
+                      go (id :: placed) placed_pos naming' tokens' (count + 1);
+                      Hashtbl.remove placed_pos id
+                    end)
+                  (node_tokens st naming placed_pos id)
+            end)
+          st.internal
+    in
+    go [] (Hashtbl.create 16) { next = 0; tbl = Hashtbl.create 16 } [] 0;
+    (Option.get !best, !best_order)
+  end
+
+(* Rebuild a representative graph in canonical order: external inputs in
+   first-use order, then internal nodes, then Output markers on sinks. *)
+let rebuild g order =
+  let b = G.Builder.create () in
+  let remap = Hashtbl.create 16 in
+  let n_inputs = ref 0 in
+  let input_of arg =
+    match Hashtbl.find_opt remap arg with
+    | Some a -> a
+    | None ->
+        let w = Op.result_width (G.node g arg).op in
+        let a =
+          match w with
+          | Op.Word ->
+              incr n_inputs;
+              G.Builder.add0 b (Op.Input (Printf.sprintf "x%d" !n_inputs))
+          | Op.Bit -> G.Builder.add0 b (Op.Bit_input (Printf.sprintf "p%d" !n_inputs))
+        in
+        Hashtbl.replace remap arg a;
+        a
+  in
+  (* pre-scan in canonical order so input numbering follows first use *)
+  List.iter
+    (fun id ->
+      let node = G.node g id in
+      let args =
+        Array.map
+          (fun a ->
+            match Hashtbl.find_opt remap a with
+            | Some a' -> a'
+            | None -> input_of a)
+          node.args
+      in
+      let id' = G.Builder.add b node.op args in
+      Hashtbl.replace remap id id')
+    order;
+  (* Output markers on internal sinks (no internal successor) *)
+  let order_set = Hashtbl.create 16 in
+  List.iter (fun i -> Hashtbl.replace order_set i ()) order;
+  let succs = G.succs g in
+  let n_out = ref 0 in
+  List.iter
+    (fun id ->
+      let node = G.node g id in
+      if Op.is_compute node.op then begin
+        let internal_succ =
+          List.exists (fun s -> Hashtbl.mem order_set s) succs.(id)
+        in
+        if not internal_succ then begin
+          incr n_out;
+          let name = Printf.sprintf "y%d" !n_out in
+          let id' = Hashtbl.find remap id in
+          match Op.result_width node.op with
+          | Op.Word -> ignore (G.Builder.add1 b (Op.Output name) id')
+          | Op.Bit -> ignore (G.Builder.add1 b (Op.Bit_output name) id')
+        end
+      end)
+    order;
+  (G.Builder.finish b, !n_inputs)
+
+let of_graph g =
+  let code, order = canonical_code g in
+  let graph, n_inputs = rebuild g order in
+  let size = List.length (List.filter (fun i -> Op.is_compute (G.node g i).op) order) in
+  { graph; code; size; n_inputs }
+
+let of_embedding g ids =
+  let sub, _ = G.induced g ids in
+  of_graph sub
+
+let graph p = p.graph
+let code p = p.code
+let size p = p.size
+let n_inputs p = p.n_inputs
+let equal a b = String.equal a.code b.code
+let compare a b = String.compare a.code b.code
+let pp ppf p = Format.fprintf ppf "@[<v>pattern %s@,%a@]" p.code G.pp p.graph

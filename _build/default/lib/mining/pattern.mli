@@ -1,0 +1,34 @@
+(** Canonical computational patterns (mined subgraphs).
+
+    A pattern is a small connected dataflow graph whose boundary is made
+    of fresh [Input] nodes; two patterns are equal iff their canonical
+    codes are equal, i.e. iff they are isomorphic (respecting operations,
+    port order of non-commutative operations, and sharing of external
+    sources). *)
+
+type t
+
+val of_graph : Apex_dfg.Graph.t -> t
+(** Canonicalize a pattern graph.  The graph must be a valid dataflow
+    graph; nodes that are not reachable from a compute node are fine. *)
+
+val of_embedding : Apex_dfg.Graph.t -> int list -> t
+(** [of_embedding g ids] extracts the subgraph of [g] induced by [ids]
+    (see {!Apex_dfg.Graph.induced}) and canonicalizes it. *)
+
+val graph : t -> Apex_dfg.Graph.t
+(** A representative graph of the isomorphism class, in canonical node
+    order, with [Output] markers on every sink compute node. *)
+
+val code : t -> string
+(** Canonical code; equal codes iff isomorphic patterns. *)
+
+val size : t -> int
+(** Number of compute nodes. *)
+
+val n_inputs : t -> int
+(** Number of word-level external inputs. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/models/comparators.ml: Float

@@ -1,0 +1,1 @@
+lib/models/interconnect.ml: Float Tech

@@ -1,0 +1,1 @@
+lib/models/tech.mli: Apex_dfg

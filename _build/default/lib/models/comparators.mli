@@ -1,0 +1,34 @@
+(** Analytic models of the non-CGRA comparison points of Section 5.4:
+    an FPGA (Virtex Ultrascale+ VU9P), an ASIC compiled by Catapult HLS
+    from the same application, and the Simba ML accelerator.
+
+    We do not have those systems; per the reproduction rules each is
+    replaced by an analytic model driven by the application's operation
+    counts and calibrated to the energy/runtime ratios the paper reports
+    (Fig. 17: FPGA 38-159x the CGRA-IP energy; ASIC below the CGRA;
+    Fig. 18: Simba ~16x more energy-efficient than CGRA-ML on ResNet). *)
+
+type app_profile = {
+  word_ops : int;       (** primitive word ops per output element *)
+  mul_ops : int;        (** of which multiplies *)
+  outputs : int;        (** output elements per run (e.g. pixels) *)
+  critical_ops : int;   (** ops on the critical path per output *)
+}
+
+type result = {
+  energy_uj : float;   (** total energy for the run, in uJ *)
+  runtime_ms : float;
+  area_mm2 : float;
+}
+
+val fpga : app_profile -> result
+(** Bit-level LUT fabric: each 16-bit word op costs ~16 LUT-level
+    operations with long programmable wires; clocked at ~250 MHz. *)
+
+val asic : app_profile -> result
+(** Fixed-function pipeline at the technology's primitive cost with no
+    configuration overhead; clocked at ~1 GHz. *)
+
+val simba : app_profile -> result
+(** A dedicated MAC-array accelerator: multiplies at near-ASIC cost with
+    amortized control; only meaningful for ML profiles. *)

@@ -1,0 +1,45 @@
+type params = { word_tracks : int; bit_tracks : int }
+
+let default = { word_tracks = 5; bit_tracks = 5 }
+
+let add (a : Tech.cost) (b : Tech.cost) : Tech.cost =
+  { area = a.area +. b.area;
+    energy = a.energy +. b.energy;
+    delay = Float.max a.delay b.delay }
+
+let scale k (a : Tech.cost) : Tech.cost =
+  { area = k *. a.area; energy = k *. a.energy; delay = a.delay }
+
+let zero : Tech.cost = { area = 0.0; energy = 0.0; delay = 0.0 }
+
+let bit_fraction = 1.0 /. 16.0
+(* a 1-bit mux/track costs roughly 1/16th of its 16-bit counterpart *)
+
+let sb_cost p ~tile_outputs =
+  (* disjoint (Wilton-style) switch box: each outgoing track is driven
+     by a mux over the same-index track of the three opposite sides
+     plus the tile outputs, and one optional pipeline register *)
+  let word_mux_inputs = 3 + tile_outputs in
+  let per_word_track =
+    add (Tech.word_mux_cost word_mux_inputs) Tech.pipeline_register_cost
+  in
+  let word = scale (float_of_int (4 * p.word_tracks)) per_word_track in
+  let bit_mux_inputs = 3 + 1 in
+  let per_bit_track =
+    scale bit_fraction
+      (add (Tech.word_mux_cost bit_mux_inputs) Tech.pipeline_register_cost)
+  in
+  let bit = scale (float_of_int (4 * p.bit_tracks)) per_bit_track in
+  add word bit
+
+let cb_cost p =
+  (* word input CB: mux over the word tracks of two adjacent channels *)
+  Tech.word_mux_cost (2 * p.word_tracks)
+
+let cb_bit_cost p = scale bit_fraction (Tech.word_mux_cost (2 * p.bit_tracks))
+
+let tile_interconnect_cost p ~word_inputs ~bit_inputs ~tile_outputs =
+  let sb = sb_cost p ~tile_outputs in
+  let cbs = scale (float_of_int word_inputs) (cb_cost p) in
+  let bcbs = scale (float_of_int bit_inputs) (cb_bit_cost p) in
+  add sb (add cbs (if bit_inputs = 0 then zero else bcbs))

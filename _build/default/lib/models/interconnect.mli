@@ -1,0 +1,34 @@
+(** Cost model for the CGRA's statically-configured interconnect.
+
+    Matches the fabric of the baseline system (Section 5): every tile has
+    one switch box (SB) with five incoming and five outgoing 16-bit
+    routing tracks per direction (N/S/E/W) plus 1-bit tracks, and one
+    connection box (CB) per tile-core input.  CB count/size scales with
+    the number of PE inputs, which is why PE specialization changes
+    interconnect cost (Section 5.3.2). *)
+
+type params = {
+  word_tracks : int;  (** 16-bit tracks per direction (paper: 5) *)
+  bit_tracks : int;   (** 1-bit tracks per direction *)
+}
+
+val default : params
+(** 5 word tracks and 5 bit tracks per direction. *)
+
+val sb_cost : params -> tile_outputs:int -> Tech.cost
+(** One switch box, disjoint (Wilton-style): each outgoing track is
+    driven by a mux over the same-index incoming track of the other
+    three sides and the tile outputs, plus a configurable pipeline
+    register per track (Section 4.3: "our switchboxes have configurable
+    pipelining registers on every track"). *)
+
+val cb_cost : params -> Tech.cost
+(** One connection box for a single 16-bit tile input: a mux over the
+    word tracks of the adjacent routing channels. *)
+
+val cb_bit_cost : params -> Tech.cost
+(** Connection box for a 1-bit input. *)
+
+val tile_interconnect_cost :
+  params -> word_inputs:int -> bit_inputs:int -> tile_outputs:int -> Tech.cost
+(** Total interconnect cost of one tile: SB + one CB per input. *)

@@ -1,0 +1,1 @@
+lib/peak/cost.ml: Apex_dfg Apex_merging Apex_models Array Float Hashtbl List

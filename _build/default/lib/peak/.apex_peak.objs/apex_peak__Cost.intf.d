@@ -1,0 +1,1 @@
+lib/peak/cost.mli: Apex_merging

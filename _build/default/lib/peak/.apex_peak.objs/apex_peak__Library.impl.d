@@ -1,0 +1,1 @@
+lib/peak/library.ml: Apex_dfg Apex_merging Array List String

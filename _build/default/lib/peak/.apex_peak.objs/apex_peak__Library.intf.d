@@ -1,0 +1,1 @@
+lib/peak/library.mli: Apex_dfg Apex_merging

@@ -1,0 +1,1 @@
+lib/peak/spec.ml: Apex_dfg Apex_merging Array Fun Hashtbl List Option Printf Seq String

@@ -1,0 +1,1 @@
+lib/peak/spec.mli: Apex_merging Seq

@@ -1,0 +1,1 @@
+lib/peak/verilog.ml: Apex_dfg Apex_merging Array Buffer Hashtbl List Option Printf Spec String

@@ -1,0 +1,1 @@
+lib/peak/verilog.mli: Spec

@@ -1,0 +1,114 @@
+module Op = Apex_dfg.Op
+module D = Apex_merging.Datapath
+module Tech = Apex_models.Tech
+
+(* Nodes reachable backwards from the configuration's outputs through
+   its routes — the hardware that actually toggles. *)
+let active_nodes (dp : D.t) (cfg : D.config) =
+  let seen = Hashtbl.create 16 in
+  let rec visit id =
+    if not (Hashtbl.mem seen id) then begin
+      Hashtbl.replace seen id ();
+      match dp.nodes.(id).kind with
+      | D.Fu _ -> (
+          match List.assoc_opt id cfg.fu_ops with
+          | None -> ()
+          | Some op ->
+              for port = 0 to Op.arity op - 1 do
+                match List.assoc_opt (id, port) cfg.routes with
+                | Some src -> visit src
+                | None -> ()
+              done)
+      | D.Creg | D.In_port | D.Bit_in_port -> ()
+    end
+  in
+  List.iter (fun (_, node) -> visit node) cfg.outputs;
+  seen
+
+let mux_fanin (dp : D.t) ~dst ~port = List.length (D.sources dp ~dst ~port)
+
+(* Simple CGRA PEs do not operand-isolate: every functional unit's
+   inputs toggle each cycle whether or not its result is selected, so
+   idle blocks still burn a fraction of their switching energy.  This
+   is what makes a kitchen-sink PE pay for generality (Section 5.1). *)
+let idle_activity = 0.15
+
+let avg_op_energy ops =
+  match ops with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc op -> acc +. (Tech.op_cost op).energy) 0.0 ops
+      /. float_of_int (List.length ops)
+
+let config_energy (dp : D.t) (cfg : D.config) =
+  let active = active_nodes dp cfg in
+  let active_energy =
+    Hashtbl.fold
+      (fun id () acc ->
+        match dp.nodes.(id).kind with
+        | D.Fu _ -> (
+            match List.assoc_opt id cfg.fu_ops with
+            | None -> acc
+            | Some op ->
+                let fu = (Tech.op_cost op).energy in
+                let muxes =
+                  let e = ref 0.0 in
+                  for port = 0 to Op.arity op - 1 do
+                    let n = mux_fanin dp ~dst:id ~port in
+                    if n >= 2 then e := !e +. (Tech.word_mux_cost n).energy
+                  done;
+                  !e
+                in
+                acc +. fu +. muxes)
+        | D.Creg -> acc +. Tech.const_register_cost.energy
+        | D.In_port | D.Bit_in_port -> acc)
+      active 0.0
+  in
+  let idle_energy =
+    Array.fold_left
+      (fun acc (n : D.node) ->
+        match n.kind with
+        | D.Fu _ when not (Hashtbl.mem active n.id) ->
+            acc +. (idle_activity *. avg_op_energy n.ops)
+        | _ -> acc)
+      0.0 dp.nodes
+  in
+  active_energy +. idle_energy
+
+let config_delay (dp : D.t) (cfg : D.config) =
+  let n = Array.length dp.nodes in
+  let memo = Array.make n None in
+  let rec arrival id =
+    match memo.(id) with
+    | Some v -> v
+    | None ->
+        let v =
+          match dp.nodes.(id).kind with
+          | D.Creg | D.In_port | D.Bit_in_port -> 0.0
+          | D.Fu _ -> (
+              match List.assoc_opt id cfg.fu_ops with
+              | None -> 0.0
+              | Some op ->
+                  let worst = ref 0.0 in
+                  for port = 0 to Op.arity op - 1 do
+                    match List.assoc_opt (id, port) cfg.routes with
+                    | None -> ()
+                    | Some src ->
+                        let mux =
+                          let fanin = mux_fanin dp ~dst:id ~port in
+                          if fanin >= 2 then (Tech.word_mux_cost fanin).delay
+                          else 0.0
+                        in
+                        worst := Float.max !worst (arrival src +. mux)
+                  done;
+                  !worst +. (Tech.op_cost op).delay)
+        in
+        memo.(id) <- Some v;
+        v
+  in
+  List.fold_left (fun acc (_, node) -> Float.max acc (arrival node)) 0.0 cfg.outputs
+
+let critical_path (dp : D.t) =
+  List.fold_left (fun acc cfg -> Float.max acc (config_delay dp cfg)) 0.0 dp.configs
+
+let pe_area = D.area

@@ -1,0 +1,19 @@
+(** PE-level cost roll-ups: per-configuration energy and delay on top of
+    the structural area model of {!Apex_merging.Datapath.area}. *)
+
+val config_energy : Apex_merging.Datapath.t -> Apex_merging.Datapath.config -> float
+(** Energy (fJ) of executing one operation under the configuration:
+    active functional units, traversed intraconnect muxes and constant
+    registers.  Inactive units are assumed operand-gated. *)
+
+val config_delay : Apex_merging.Datapath.t -> Apex_merging.Datapath.config -> float
+(** Combinational critical path (ps) of the active subgraph: input port
+    to selected outputs through mux and FU delays. *)
+
+val critical_path : Apex_merging.Datapath.t -> float
+(** PE critical path: the maximum {!config_delay} over all stored
+    configurations — what synthesis-driven PE pipelining reacts to
+    (Section 4.2). *)
+
+val pe_area : Apex_merging.Datapath.t -> float
+(** PE core area (um^2), see {!Apex_merging.Datapath.area}. *)

@@ -1,0 +1,134 @@
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module D = Apex_merging.Datapath
+
+let baseline_ops =
+  [ Op.Add; Op.Sub; Op.Abs; Op.Smax; Op.Smin; Op.Umax; Op.Umin;
+    Op.Mul;
+    Op.Shl; Op.Lshr; Op.Ashr;
+    Op.And; Op.Or; Op.Xor; Op.Not;
+    Op.Eq; Op.Neq; Op.Slt; Op.Sle; Op.Ult; Op.Ule;
+    Op.Mux; Op.Lut 0 ]
+
+(* stable kind order so node ids are deterministic *)
+let kind_order = [ "alu"; "mul"; "shift"; "logic"; "cmp"; "mux"; "lut" ]
+
+let subset ~ops =
+  let ops = List.sort_uniq Op.compare ops in
+  let kinds =
+    List.filter_map
+      (fun k ->
+        let ops_k = List.filter (fun op -> String.equal (Op.kind op) k) ops in
+        if ops_k = [] then None else Some (k, ops_k))
+      kind_order
+  in
+  let needs_bits = List.mem_assoc "lut" kinds || List.mem_assoc "mux" kinds in
+  let nodes = ref [] and edges = ref [] in
+  let next = ref 0 in
+  let fresh kind ops =
+    let id = !next in
+    incr next;
+    nodes := { D.id; kind; ops } :: !nodes;
+    id
+  in
+  let in0 = fresh D.In_port [] in
+  let in1 = fresh D.In_port [] in
+  let creg0 = fresh D.Creg [] in
+  let creg1 = fresh D.Creg [] in
+  let bins =
+    if needs_bits then List.init 3 (fun _ -> fresh D.Bit_in_port []) else []
+  in
+  let edge src dst port = edges := { D.src; dst; port } :: !edges in
+  let word_sources0 = [ in0; in1; creg0 ] in
+  let word_sources1 = [ in0; in1; creg1 ] in
+  let fus =
+    List.map
+      (fun (k, ops_k) ->
+        let fu = fresh (D.Fu k) ops_k in
+        (match k with
+        | "mux" ->
+            (* port 0: 1-bit select from cmp result or the first bit input *)
+            (match bins with b0 :: _ -> edge b0 fu 0 | [] -> ());
+            List.iter (fun s -> edge s fu 1) word_sources0;
+            List.iter (fun s -> edge s fu 2) word_sources1
+        | "lut" ->
+            List.iteri (fun i b -> edge b fu i) bins
+        | _ ->
+            List.iter (fun s -> edge s fu 0) word_sources0;
+            List.iter (fun s -> edge s fu 1) word_sources1);
+        (k, fu))
+      kinds
+  in
+  (* the comparator's 1-bit result can drive the mux select *)
+  (match (List.assoc_opt "cmp" fus, List.assoc_opt "mux" fus) with
+  | Some cmp, Some mux -> edge cmp mux 0
+  | _ -> ());
+  let word_out_pos = 0 and bit_out_pos = 1 in
+  let configs =
+    List.concat_map
+      (fun (k, fu) ->
+        let fu_ops_node = List.assoc k kinds in
+        List.concat_map
+          (fun op ->
+            let name = Op.mnemonic op in
+            let out =
+              match Op.result_width op with
+              | Op.Word -> (word_out_pos, fu)
+              | Op.Bit -> (bit_out_pos, fu)
+            in
+            let base routes consts =
+              { D.label = name; fu_ops = [ (fu, op) ]; routes; consts;
+                inputs = []; outputs = [ out ] }
+            in
+            match op with
+            | Op.Mux ->
+                (* [needs_bits] guarantees a bit input when a mux exists;
+                   constant-operand variants let the mapper absorb
+                   select(c, k1, k2) style bit-to-word conversions *)
+                let sel = List.hd bins in
+                [ base [ ((fu, 0), sel); ((fu, 1), in0); ((fu, 2), in1) ] [];
+                  { D.label = name ^ "$c1"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), sel); ((fu, 1), creg0); ((fu, 2), in1) ];
+                    consts = [ (creg0, 0) ]; inputs = []; outputs = [ out ] };
+                  { D.label = name ^ "$c2"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), sel); ((fu, 1), in0); ((fu, 2), creg1) ];
+                    consts = [ (creg1, 0) ]; inputs = []; outputs = [ out ] };
+                  { D.label = name ^ "$c12"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), sel); ((fu, 1), creg0); ((fu, 2), creg1) ];
+                    consts = [ (creg0, 0); (creg1, 0) ]; inputs = [];
+                    outputs = [ out ] } ]
+            | Op.Lut _ ->
+                [ base (List.mapi (fun i b -> ((fu, i), b)) bins) [] ]
+            | _ when Op.arity op = 1 ->
+                [ base [ ((fu, 0), in0) ] [] ]
+            | _ ->
+                (* plain, shared-input (op(x,x), e.g. squaring),
+                   constant-right and constant-left variants *)
+                [ base [ ((fu, 0), in0); ((fu, 1), in1) ] [];
+                  { D.label = name ^ "$s"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), in0); ((fu, 1), in0) ];
+                    consts = []; inputs = []; outputs = [ out ] };
+                  { D.label = name ^ "$c1"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), in0); ((fu, 1), creg1) ];
+                    consts = [ (creg1, 0) ]; inputs = []; outputs = [ out ] };
+                  { D.label = name ^ "$c0"; fu_ops = [ (fu, op) ];
+                    routes = [ ((fu, 0), creg0); ((fu, 1), in1) ];
+                    consts = [ (creg0, 0) ]; inputs = []; outputs = [ out ] } ])
+          fu_ops_node)
+      fus
+  in
+  { D.nodes = Array.of_list (List.rev !nodes);
+    edges = List.rev !edges;
+    configs }
+
+let baseline () = subset ~ops:baseline_ops
+
+let ops_of_graph g =
+  Array.to_list (G.nodes g)
+  |> List.filter_map (fun (n : G.node) ->
+         if Op.is_compute n.op then
+           match n.op with
+           | Op.Lut _ -> Some (Op.Lut 0)
+           | op -> Some op
+         else None)
+  |> List.sort_uniq Op.compare

@@ -1,0 +1,28 @@
+(** Ready-made PE datapaths: the general-purpose baseline PE of the
+    comparison system [3] (Fig. 1) and its application-restricted
+    variants (the paper's "PE 1").
+
+    The constructed datapaths carry one configuration per supported
+    operation (plus constant-operand variants), so they already contain
+    the single-operation rewrite rules; specialized PEs are obtained by
+    merging mined patterns into them with {!Apex_merging.Merge}. *)
+
+val baseline_ops : Apex_dfg.Op.t list
+(** Every operation of the baseline PE: full ALU (add/sub/abs/min/max),
+    multiplier, barrel shifter, bitwise logic, comparisons, word mux and
+    the 3-input LUT. *)
+
+val baseline : unit -> Apex_merging.Datapath.t
+(** The general-purpose baseline PE: two 16-bit data inputs, three 1-bit
+    inputs, two constant registers, one functional-unit block per
+    operation kind, flexible operand muxing, a 16-bit and a 1-bit
+    output. *)
+
+val subset : ops:Apex_dfg.Op.t list -> Apex_merging.Datapath.t
+(** "PE 1": the baseline structure restricted to the given operations;
+    unused blocks, bit inputs and outputs disappear. *)
+
+val ops_of_graph : Apex_dfg.Graph.t -> Apex_dfg.Op.t list
+(** The distinct compute operations an application graph needs —
+    the op set for its PE 1 ([Lut] tables and [Const] values are
+    normalized away). *)

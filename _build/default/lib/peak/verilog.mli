@@ -1,0 +1,26 @@
+(** Verilog RTL emission from a PE specification — the Magma back-end of
+    PEak [25] in the paper's flow.  The generated module is plain
+    synthesizable RTL: one flat configuration port sliced into the
+    spec's fields, assign-style FU implementations with case selection,
+    and intraconnect muxes.  The datapath's static acyclicity guarantees
+    the netlist has no combinational loops. *)
+
+val emit : ?stages:int array -> Spec.t -> string
+(** The module source.  Deterministic for a given spec.
+
+    With [stages] (a per-datapath-node pipeline stage assignment from
+    {!Apex_pipelining.Pe_pipeline.assign_stages} — indexless access, so
+    the array must cover every node id), the emitted PE is pipelined:
+    every producer keeps registered copies of its result for consumers
+    in later stages, and the outputs are aligned to the last stage, so
+    the module has a uniform input-to-output latency equal to the stage
+    count. *)
+
+val module_name : Spec.t -> string
+
+val sanitize : string -> string
+(** Replace non-identifier characters with underscores. *)
+
+val port_list : Spec.t -> (string * int) list
+(** Declared ports and their widths (1 for single bits), in declaration
+    order — handy for testing and for the CGRA tile wrapper. *)

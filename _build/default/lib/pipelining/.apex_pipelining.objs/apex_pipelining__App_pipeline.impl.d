@@ -1,0 +1,1 @@
+lib/pipelining/app_pipeline.ml: Apex_mapper Apex_models Array List

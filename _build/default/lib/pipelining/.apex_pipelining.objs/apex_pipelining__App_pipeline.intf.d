@@ -1,0 +1,1 @@
+lib/pipelining/app_pipeline.mli: Apex_mapper

@@ -1,0 +1,1 @@
+lib/pipelining/pe_pipeline.ml: Apex_dfg Apex_merging Apex_models Apex_peak Array Float Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/pipelining/pe_pipeline.mli: Apex_merging

@@ -1,0 +1,100 @@
+module Cover = Apex_mapper.Cover
+module Tech = Apex_models.Tech
+
+type plan = {
+  pe_latency : int;
+  edge_regs : ((int * int) * int) list;
+  n_regs : int;
+  n_reg_files : int;
+  rf_total_depth : int;
+  depth_cycles : int;
+}
+
+let balance ?(rf_cutoff = 2) (m : Cover.t) ~pe_latency =
+  let n = Array.length m.instances in
+  let ready = Array.make n (-1) in
+  (* cycle at which an instance's outputs are available; -2 marks an
+     instance whose arrival is being computed, so a cyclic mapped graph
+     (a mapper bug) fails loudly instead of diverging *)
+  let rec ready_of idx =
+    if ready.(idx) >= 0 then ready.(idx)
+    else if ready.(idx) = -2 then
+      failwith "App_pipeline.balance: cyclic mapped graph"
+    else begin
+      ready.(idx) <- -2;
+      let inst = m.instances.(idx) in
+      let arr = arrival_times inst.Cover.inputs in
+      let latest = List.fold_left (fun acc (_, a) -> max acc a) 0 arr in
+      let r = latest + pe_latency in
+      ready.(idx) <- r;
+      r
+    end
+  and arrival_times inputs =
+    List.map
+      (fun (port, drv) ->
+        match (drv : Cover.driver) with
+        | Cover.From_input _ -> (port, 0)
+        | Cover.From_pe (j, _) -> (port, ready_of j))
+      inputs
+  in
+  (* balancing registers on each instance input *)
+  let edge_regs = ref [] in
+  Array.iteri
+    (fun idx (inst : Cover.instance) ->
+      let arr = arrival_times inst.inputs in
+      let latest = List.fold_left (fun acc (_, a) -> max acc a) 0 arr in
+      List.iter
+        (fun (port, a) ->
+          let slack = latest - a in
+          if slack > 0 then edge_regs := ((idx, port), slack) :: !edge_regs)
+        arr)
+    m.instances;
+  (* outputs are balanced against each other too *)
+  let out_arrivals =
+    List.mapi
+      (fun k (_, drv) ->
+        match (drv : Cover.driver) with
+        | Cover.From_input _ -> (k, 0)
+        | Cover.From_pe (j, _) -> (k, ready_of j))
+      m.outputs
+  in
+  let out_latest = List.fold_left (fun acc (_, a) -> max acc a) 0 out_arrivals in
+  List.iter
+    (fun (k, a) ->
+      let slack = out_latest - a in
+      if slack > 0 then edge_regs := ((-1 - k, 0), slack) :: !edge_regs)
+    out_arrivals;
+  let edge_regs = List.rev !edge_regs in
+  let n_regs, n_reg_files, rf_total_depth =
+    List.fold_left
+      (fun (regs, rfs, depth) (_, chain) ->
+        if chain > rf_cutoff then (regs, rfs + 1, depth + chain)
+        else (regs + chain, rfs, depth))
+      (0, 0, 0) edge_regs
+  in
+  { pe_latency;
+    edge_regs;
+    n_regs;
+    n_reg_files;
+    rf_total_depth;
+    depth_cycles = out_latest }
+
+let regs_area p =
+  (float_of_int p.n_regs *. Tech.pipeline_register_cost.area)
+  +. (float_of_int p.n_reg_files
+     *. (Tech.register_file_cost
+           ~depth:
+             (if p.n_reg_files = 0 then 0
+              else (p.rf_total_depth + p.n_reg_files - 1) / p.n_reg_files))
+          .area)
+     *. 1.0
+
+let regs_energy p =
+  (float_of_int p.n_regs *. Tech.pipeline_register_cost.energy)
+  +.
+  if p.n_reg_files = 0 then 0.0
+  else
+    float_of_int p.n_reg_files
+    *. (Tech.register_file_cost
+          ~depth:((p.rf_total_depth + p.n_reg_files - 1) / p.n_reg_files))
+         .energy

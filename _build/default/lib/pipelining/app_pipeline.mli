@@ -1,0 +1,30 @@
+(** Application pipelining: branch delay matching and register-file
+    FIFO substitution (Section 4.3, Figs. 8 and 9).
+
+    Every PE instance of a mapped application takes [pe_latency] cycles
+    from inputs to outputs.  Walking the mapped graph from inputs to
+    outputs, data arrival times are balanced by inserting pipeline
+    registers on the early edges; register chains longer than the
+    cutoff (default 2) are replaced by a PE register file acting as a
+    FIFO, which unloads the interconnect. *)
+
+type plan = {
+  pe_latency : int;
+  edge_regs : ((int * int) * int) list;
+  (** ((consumer instance, input port), registers inserted); consumer
+      [-1 - k] encodes the k-th application output *)
+  n_regs : int;          (** pipeline registers placed in the interconnect *)
+  n_reg_files : int;     (** register-file FIFOs substituted *)
+  rf_total_depth : int;  (** words buffered in register files *)
+  depth_cycles : int;    (** input-to-output latency of the application *)
+}
+
+val balance : ?rf_cutoff:int -> Apex_mapper.Cover.t -> pe_latency:int -> plan
+(** Compute arrival times and the balancing plan.  [rf_cutoff] is the
+    chain length above which a register chain becomes a register file
+    (the designer-adjustable knob of Section 4.3). *)
+
+val regs_area : plan -> float
+val regs_energy : plan -> float
+(** Area (um^2) / energy (fJ per output) of the balancing registers and
+    register files. *)

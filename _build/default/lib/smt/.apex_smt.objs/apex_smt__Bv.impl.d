@@ -1,0 +1,1 @@
+lib/smt/bv.ml: Apex_dfg Array Hashtbl List Sat

@@ -1,0 +1,1 @@
+lib/smt/bv.mli: Apex_dfg Sat

@@ -1,0 +1,1 @@
+lib/smt/synth.ml: Apex_dfg Apex_merging Apex_mining Apex_peak Array Fun Hashtbl List Option Printf Random Seq String Verify

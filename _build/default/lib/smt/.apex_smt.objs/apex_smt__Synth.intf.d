@@ -1,0 +1,1 @@
+lib/smt/synth.mli: Apex_dfg Apex_merging Apex_mining Apex_peak Verify

@@ -1,0 +1,1 @@
+lib/smt/verify.ml: Apex_dfg Apex_merging Apex_mining Array Bv Format List Option Printf Random Sat String

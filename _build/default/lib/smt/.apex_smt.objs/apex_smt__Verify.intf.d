@@ -1,0 +1,1 @@
+lib/smt/verify.mli: Apex_merging Apex_mining Format

@@ -1,0 +1,50 @@
+(** Rewrite-rule synthesis: find a PE configuration implementing a
+    pattern (the [exists x forall y] query of Section 4.1.1).
+
+    Two engines are provided:
+
+    - {!structural}: a directed backtracking search that maps the
+      pattern's nodes onto the datapath's functional units and wiring —
+      fast, and the engine used by the APEX flow.  Every candidate it
+      finds is formally checked with {!Verify.verify_config} before
+      being returned.
+    - {!cegis}: classic counterexample-guided enumeration over the PE's
+      instruction space, feasible for small PEs; kept as a reference
+      implementation and exercised by tests and the ablation bench. *)
+
+type rule = {
+  pattern : Apex_mining.Pattern.t;
+  config : Apex_merging.Datapath.config;  (** with inputs/outputs bound *)
+  verdict : Verify.verdict;
+}
+
+val structural :
+  ?width:int ->
+  ?max_candidates:int ->
+  Apex_merging.Datapath.t ->
+  Apex_mining.Pattern.t ->
+  rule option
+(** Search for a configuration implementing the pattern.  Tries the
+    datapath's stored configurations whose label equals the pattern's
+    canonical code first (merge provenance), then the structural
+    search.  Returns the first candidate that is [Proved] or [Tested];
+    [None] if the pattern cannot be mapped. *)
+
+val cegis :
+  ?width:int ->
+  ?max_instrs:int ->
+  Apex_peak.Spec.t ->
+  Apex_mining.Pattern.t ->
+  rule option
+(** Enumerate instructions, filtered by a growing counterexample sample
+    set, verifying promising candidates.  Only practical when the
+    instruction space is small (e.g. single-FU PEs). *)
+
+val rules_for_ops :
+  Apex_merging.Datapath.t -> Apex_dfg.Op.t list -> (Apex_dfg.Op.t * rule option) list
+(** Synthesize one rule per primitive operation — the rule set every
+    application needs (Section 4.1.1: "we synthesize rewrite rules for
+    every operation necessary to execute any application"). *)
+
+val op_pattern : Apex_dfg.Op.t -> Apex_mining.Pattern.t
+(** The single-operation pattern for a compute op. *)

@@ -1,0 +1,1 @@
+test/test_cgra.ml: Alcotest Apex_cgra Apex_dfg Apex_halide Apex_mapper Apex_models Apex_peak Apex_pipelining Array Hashtbl List Option Printf Random Str

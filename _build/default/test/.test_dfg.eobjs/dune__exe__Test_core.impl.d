@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Apex Apex_halide Apex_mapper Apex_merging Apex_mining List Printf

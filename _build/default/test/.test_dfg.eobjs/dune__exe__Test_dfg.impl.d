@@ -1,0 +1,1 @@
+test/test_dfg.ml: Alcotest Apex_dfg Array List Printf QCheck QCheck_alcotest Random Str String

@@ -1,0 +1,1 @@
+test/test_halide.ml: Alcotest Apex_dfg Apex_halide Array Hashtbl List Printf Random String

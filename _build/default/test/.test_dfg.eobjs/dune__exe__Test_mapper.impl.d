@@ -1,0 +1,1 @@
+test/test_mapper.ml: Alcotest Apex_dfg Apex_halide Apex_mapper Apex_merging Apex_mining Apex_peak List Printf Random String

@@ -1,0 +1,1 @@
+test/test_merging.ml: Alcotest Apex_dfg Apex_merging Apex_mining Array Fun List QCheck QCheck_alcotest Random Str String

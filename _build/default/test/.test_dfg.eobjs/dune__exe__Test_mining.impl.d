@@ -1,0 +1,1 @@
+test/test_mining.ml: Alcotest Apex_dfg Apex_mining Array Fun Hashtbl List Printf QCheck QCheck_alcotest Random String

@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Apex_dfg Apex_merging Apex_models Apex_peak List Printf

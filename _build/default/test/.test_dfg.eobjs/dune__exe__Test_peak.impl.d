@@ -1,0 +1,1 @@
+test/test_peak.ml: Alcotest Apex_dfg Apex_merging Apex_mining Apex_peak Array List Printf QCheck QCheck_alcotest Random Str String

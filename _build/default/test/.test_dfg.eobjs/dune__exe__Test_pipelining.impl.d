@@ -1,0 +1,1 @@
+test/test_pipelining.ml: Alcotest Apex_dfg Apex_halide Apex_mapper Apex_merging Apex_mining Apex_peak Apex_pipelining Array Float List Printf Str

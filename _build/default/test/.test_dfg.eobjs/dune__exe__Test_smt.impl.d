@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Apex_dfg Apex_merging Apex_mining Apex_peak Apex_smt Array Format List QCheck QCheck_alcotest Random

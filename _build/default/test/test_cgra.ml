@@ -1,0 +1,318 @@
+(* Tests for the CGRA fabric: placement, routing, bitstream and the
+   fabric simulator checked against the golden interpreter. *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module Interp = Apex_dfg.Interp
+module Library = Apex_peak.Library
+module Spec = Apex_peak.Spec
+module Rules = Apex_mapper.Rules
+module Cover = Apex_mapper.Cover
+module App_pipeline = Apex_pipelining.App_pipeline
+module Fabric = Apex_cgra.Fabric
+module Place = Apex_cgra.Place
+module Route = Apex_cgra.Route
+module Bitstream = Apex_cgra.Bitstream
+module Sim = Apex_cgra.Sim
+module Apps = Apex_halide.Apps
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let gaussian_flow () =
+  let app = Apps.by_name "gaussian" in
+  let dp = Library.baseline () in
+  let spec = Spec.of_datapath ~name:"baseline" dp in
+  let rules = Rules.single_op_rules dp in
+  let mapped = Cover.map_app ~rules app.graph in
+  let fabric = Fabric.create () in
+  let placement = Place.place ~effort:1 fabric mapped in
+  let routes = Route.route placement mapped in
+  let plan = App_pipeline.balance mapped ~pe_latency:1 in
+  let bitstream = Bitstream.generate spec placement mapped routes in
+  (app, dp, spec, mapped, fabric, placement, routes, plan, bitstream)
+
+(* --- fabric --- *)
+
+let test_fabric_structure () =
+  let f = Fabric.create () in
+  check int "total tiles" (32 * 16) (Fabric.n_pe_tiles f + Fabric.n_mem_tiles f);
+  check int "mem columns" (8 * 16) (Fabric.n_mem_tiles f);
+  Alcotest.(check bool) "pe at 0,0" true (Fabric.kind f ~x:0 ~y:0 = Fabric.Pe_tile);
+  Alcotest.(check bool) "mem at 3,0" true (Fabric.kind f ~x:3 ~y:0 = Fabric.Mem_tile)
+
+let test_fabric_io () =
+  let f = Fabric.create () in
+  Alcotest.(check bool) "west off-grid" true (fst (Fabric.io_west f 0) = -1);
+  Alcotest.(check bool) "east off-grid" true (fst (Fabric.io_east f 0) = 32)
+
+(* --- placement --- *)
+
+let test_place_distinct_tiles () =
+  let _, _, _, mapped, _, placement, _, _, _ = gaussian_flow () in
+  let locs = Array.to_list placement.loc in
+  check int "all placed" (Cover.n_pes mapped) (List.length locs);
+  check int "distinct tiles" (List.length locs)
+    (List.length (List.sort_uniq compare locs));
+  List.iter
+    (fun (x, y) ->
+      Alcotest.(check bool) "on a PE tile" true
+        (Fabric.kind placement.fabric ~x ~y = Fabric.Pe_tile))
+    locs
+
+let test_place_improves_wirelength () =
+  let app = Apps.by_name "gaussian" in
+  let dp = Library.baseline () in
+  let rules = Rules.single_op_rules dp in
+  let mapped = Cover.map_app ~rules app.graph in
+  let fabric = Fabric.create () in
+  let greedy = Place.place ~effort:0 fabric mapped in
+  let annealed = Place.place ~effort:1 fabric mapped in
+  Alcotest.(check bool)
+    (Printf.sprintf "annealed %.0f <= greedy %.0f" annealed.wirelength
+       greedy.wirelength)
+    true
+    (annealed.wirelength <= greedy.wirelength)
+
+let test_place_does_not_fit () =
+  let app = Apps.by_name "camera" in
+  let dp = Library.baseline () in
+  let rules = Rules.single_op_rules dp in
+  let mapped = Cover.map_app ~rules app.graph in
+  let tiny = Fabric.create ~width:4 ~height:4 () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Place.place tiny mapped);
+       false
+     with Place.Does_not_fit _ -> true)
+
+let test_place_deterministic () =
+  let app = Apps.by_name "gaussian" in
+  let dp = Library.baseline () in
+  let rules = Rules.single_op_rules dp in
+  let mapped = Cover.map_app ~rules app.graph in
+  let fabric = Fabric.create () in
+  let p1 = Place.place ~seed:5 fabric mapped in
+  let p2 = Place.place ~seed:5 fabric mapped in
+  Alcotest.(check bool) "same placement" true (p1.loc = p2.loc)
+
+(* --- routing --- *)
+
+let test_route_legal () =
+  let _, _, _, _, _, _, routes, _, _ = gaussian_flow () in
+  check int "no overuse" 0 routes.overuse;
+  Alcotest.(check bool) "has nets" true (List.length routes.nets > 10);
+  Alcotest.(check bool) "hops counted" true (routes.word_hops > 0)
+
+let test_route_trees_connect_sinks () =
+  let _, _, _, _, _, _, routes, _, _ = gaussian_flow () in
+  List.iter
+    (fun (n : Route.net) ->
+      (* every sink must be reachable from the source through tree hops *)
+      let reached = Hashtbl.create 16 in
+      Hashtbl.replace reached n.source ();
+      let rec grow () =
+        let changed = ref false in
+        List.iter
+          (fun (a, b) ->
+            if Hashtbl.mem reached a && not (Hashtbl.mem reached b) then begin
+              Hashtbl.replace reached b ();
+              changed := true
+            end)
+          n.tree;
+        if !changed then grow ()
+      in
+      grow ();
+      List.iter
+        (fun s ->
+          if not (Hashtbl.mem reached s) then
+            Alcotest.failf "net %s: sink unreachable" n.name)
+        n.sinks)
+    routes.nets
+
+let test_track_assignment_legal () =
+  let _, _, _, _, _, _, routes, _, _ = gaussian_flow () in
+  let capacity = Apex_models.Interconnect.default.word_tracks in
+  (* tracks within capacity and no two nets share a (boundary, track) *)
+  let used = Hashtbl.create 256 in
+  List.iter
+    (fun (n : Route.net) ->
+      List.iter
+        (fun (hop, t) ->
+          Alcotest.(check bool) "track within capacity" true
+            (t >= 0 && t < capacity);
+          if Hashtbl.mem used (hop, t) then
+            Alcotest.fail "two nets on one track"
+          else Hashtbl.replace used (hop, t) ())
+        n.tracks)
+    routes.nets
+
+let test_routing_only_tiles () =
+  let _, _, _, mapped, _, placement, routes, _, _ = gaussian_flow () in
+  let r = Route.routing_only_tiles routes placement mapped in
+  Alcotest.(check bool) "nonnegative" true (r >= 0)
+
+(* --- bitstream --- *)
+
+let test_pack_unpack_roundtrip () =
+  let dp = Library.baseline () in
+  let spec = Spec.of_datapath ~name:"baseline" dp in
+  let st = Random.State.make [| 21 |] in
+  for _ = 1 to 50 do
+    let instr =
+      List.map
+        (fun (f : Spec.field) -> (f.name, Random.State.int st (max 1 f.choices)))
+        spec.fields
+    in
+    let instr' = Bitstream.unpack spec (Bitstream.pack spec instr) in
+    List.iter
+      (fun (name, v) ->
+        check int ("field " ^ name) v
+          (Option.value ~default:0 (List.assoc_opt name instr')))
+      instr
+  done
+
+let test_bitstream_covers_instances () =
+  let _, _, spec, mapped, _, placement, _, _, bitstream = gaussian_flow () in
+  Array.iteri
+    (fun i (_ : Cover.instance) ->
+      match Bitstream.instr_at bitstream spec placement.loc.(i) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "no config words for instance %d" i)
+    mapped.instances;
+  Alcotest.(check bool) "bits counted" true (bitstream.total_bits > 0)
+
+(* --- fabric simulation vs golden model --- *)
+
+let random_frame st g =
+  Interp.random_env st g
+
+let test_sim_matches_golden () =
+  let app, _, spec, mapped, _, placement, _, plan, bitstream = gaussian_flow () in
+  let st = Random.State.make [| 123 |] in
+  let frames = List.init 8 (fun _ -> random_frame st app.graph) in
+  let report =
+    Sim.run ~spec ~mapped ~plan ~bitstream ~placement ~frames
+  in
+  check int "one output set per frame" (List.length frames)
+    (List.length report.outputs);
+  List.iteri
+    (fun i frame ->
+      let golden = List.sort compare (Interp.run app.graph frame) in
+      let actual = List.sort compare (List.nth report.outputs i) in
+      if golden <> actual then
+        Alcotest.failf "frame %d: fabric simulation diverges from golden" i)
+    frames
+
+let test_sim_pipelined_pe_latency () =
+  (* same check with a 3-cycle PE pipeline: balancing must still line up *)
+  let app, _, spec, mapped, _, placement, _, _, bitstream = gaussian_flow () in
+  let plan = App_pipeline.balance mapped ~pe_latency:3 in
+  let st = Random.State.make [| 321 |] in
+  let frames = List.init 6 (fun _ -> random_frame st app.graph) in
+  let report = Sim.run ~spec ~mapped ~plan ~bitstream ~placement ~frames in
+  List.iteri
+    (fun i frame ->
+      let golden = List.sort compare (Interp.run app.graph frame) in
+      let actual = List.sort compare (List.nth report.outputs i) in
+      if golden <> actual then
+        Alcotest.failf "frame %d: pipelined simulation diverges" i)
+    frames
+
+let test_sim_unsharp_end_to_end () =
+  let app = Apps.by_name "unsharp" in
+  let dp = Library.baseline () in
+  let spec = Spec.of_datapath ~name:"baseline" dp in
+  let rules = Rules.single_op_rules dp in
+  let mapped = Cover.map_app ~rules app.graph in
+  let fabric = Fabric.create () in
+  let placement = Place.place ~effort:0 fabric mapped in
+  let routes = Route.route placement mapped in
+  let plan = App_pipeline.balance mapped ~pe_latency:2 in
+  let bitstream = Bitstream.generate spec placement mapped routes in
+  let st = Random.State.make [| 55 |] in
+  let frames = List.init 4 (fun _ -> random_frame st app.graph) in
+  let report = Sim.run ~spec ~mapped ~plan ~bitstream ~placement ~frames in
+  List.iteri
+    (fun i frame ->
+      let golden = List.sort compare (Interp.run app.graph frame) in
+      let actual = List.sort compare (List.nth report.outputs i) in
+      if golden <> actual then Alcotest.failf "frame %d diverges" i)
+    frames
+
+
+(* --- top-level fabric Verilog --- *)
+
+let test_fabric_verilog () =
+  let dp = Library.baseline () in
+  let spec = Spec.of_datapath ~name:"baseline" dp in
+  let fabric = Fabric.create ~width:4 ~height:4 () in
+  let v = Apex_cgra.Verilog_top.emit fabric spec in
+  let contains s =
+    let re = Str.regexp_string s in
+    try
+      ignore (Str.search_forward re v 0);
+      true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "top module" true (contains "module cgra_4x4");
+  Alcotest.(check bool) "switch box" true (contains "module switch_box");
+  Alcotest.(check bool) "mem tile" true (contains "module mem_tile");
+  Alcotest.(check bool) "pe module" true (contains "module pe_baseline");
+  Alcotest.(check bool) "scan chain" true (contains "cfg_chain");
+  (* balanced module/endmodule *)
+  let count s =
+    let re = Str.regexp_string s in
+    let rec go pos acc =
+      match Str.search_forward re v pos with
+      | p -> go (p + 1) (acc + 1)
+      | exception Not_found -> acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "modules balanced" (count "module ") (count "endmodule" + count "module pe_" + count "module switch_box" + count "module mem_tile" + count "module cgra_" - 4)
+
+let test_fabric_verilog_instantiates_all_tiles () =
+  let dp = Library.baseline () in
+  let spec = Spec.of_datapath ~name:"baseline" dp in
+  let fabric = Fabric.create ~width:8 ~height:2 () in
+  let v = Apex_cgra.Verilog_top.emit fabric spec in
+  let count s =
+    let re = Str.regexp_string s in
+    let rec go pos acc =
+      match Str.search_forward re v pos with
+      | p -> go (p + 1) (acc + 1)
+      | exception Not_found -> acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one SB per tile" (8 * 2) (count "switch_box sb_");
+  Alcotest.(check int) "PE instances" (Fabric.n_pe_tiles fabric) (count "pe_baseline pe_");
+  Alcotest.(check int) "MEM instances" (Fabric.n_mem_tiles fabric) (count "mem_tile mem_")
+
+let () =
+  Alcotest.run "cgra"
+    [ ( "fabric",
+        [ Alcotest.test_case "structure" `Quick test_fabric_structure;
+          Alcotest.test_case "io coords" `Quick test_fabric_io ] );
+      ( "place",
+        [ Alcotest.test_case "distinct PE tiles" `Quick test_place_distinct_tiles;
+          Alcotest.test_case "annealing improves" `Quick test_place_improves_wirelength;
+          Alcotest.test_case "does not fit" `Quick test_place_does_not_fit;
+          Alcotest.test_case "deterministic" `Quick test_place_deterministic ] );
+      ( "route",
+        [ Alcotest.test_case "legal" `Quick test_route_legal;
+          Alcotest.test_case "trees connect" `Quick test_route_trees_connect_sinks;
+          Alcotest.test_case "track assignment" `Quick test_track_assignment_legal;
+          Alcotest.test_case "routing-only tiles" `Quick test_routing_only_tiles ] );
+      ( "bitstream",
+        [ Alcotest.test_case "pack/unpack roundtrip" `Quick test_pack_unpack_roundtrip;
+          Alcotest.test_case "covers instances" `Quick test_bitstream_covers_instances ] );
+      ( "sim",
+        [ Alcotest.test_case "gaussian matches golden" `Quick test_sim_matches_golden;
+          Alcotest.test_case "pipelined PEs" `Quick test_sim_pipelined_pe_latency;
+          Alcotest.test_case "unsharp end to end" `Quick test_sim_unsharp_end_to_end ] );
+      ( "verilog-top",
+        [ Alcotest.test_case "structure" `Quick test_fabric_verilog;
+          Alcotest.test_case "tile instantiation" `Quick
+            test_fabric_verilog_instantiates_all_tiles ] ) ]

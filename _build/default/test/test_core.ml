@@ -1,0 +1,153 @@
+(* Integration tests for the top-level APEX DSE flow. *)
+
+module Apps = Apex_halide.Apps
+module Metrics = Apex.Metrics
+module Variants = Apex.Variants
+module Dse = Apex.Dse
+module Pattern = Apex_mining.Pattern
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+let gaussian = Apps.by_name "gaussian"
+
+(* --- variants --- *)
+
+let test_baseline_variant () =
+  let v = Dse.variant_for "base" in
+  Alcotest.(check string) "name" "PE Base" v.Variants.name;
+  Alcotest.(check bool) "has rules" true (List.length v.rules > 20);
+  check int "no merged patterns" 0 (List.length v.patterns)
+
+let test_pe1_smaller_than_base () =
+  let base = Dse.variant_for "base" in
+  let pe1 = Dse.variant_for "pe1:gaussian" in
+  Alcotest.(check bool) "pe1 area < base" true
+    (Apex_merging.Datapath.area pe1.Variants.dp
+    < Apex_merging.Datapath.area base.Variants.dp)
+
+let test_specialized_variant_patterns () =
+  let v = Dse.variant_for "pek:gaussian:2" in
+  check int "two merged subgraphs" 2 (List.length v.Variants.patterns);
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "pattern is multi-op" true (Pattern.size p >= 2))
+    v.patterns
+
+let test_interesting_patterns_filter () =
+  let ranked = Variants.analysis_of gaussian in
+  let ps = Variants.interesting_patterns ranked in
+  Alcotest.(check bool) "nonempty" true (ps <> []);
+  List.iter
+    (fun p -> Alcotest.(check bool) "size >= 2" true (Pattern.size p >= 2))
+    ps
+
+let test_variant_for_unknown () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Dse.variant_for "nonsense");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- metrics: the specialization story --- *)
+
+let test_specialization_monotone_area () =
+  (* total PE area must not grow as subgraphs are merged in MIS order
+     for the first couple of steps (the Fig. 11 trend) *)
+  let area k =
+    let v = Dse.variant_for (Printf.sprintf "pek:gaussian:%d" k) in
+    let pm, _ = Metrics.post_mapping v gaussian in
+    pm.Metrics.total_pe_area
+  in
+  let a0 = area 0 and a1 = area 1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "PE2 (%.0f) <= PE1 (%.0f)" a1 a0)
+    true (a1 <= a0)
+
+let test_pe_spec_beats_baseline () =
+  let base, _ = Metrics.post_mapping (Dse.variant_for "base") gaussian in
+  let spec, _ = Metrics.post_mapping (Dse.pe_spec gaussian) gaussian in
+  Alcotest.(check bool) "area" true
+    (spec.Metrics.total_pe_area < base.Metrics.total_pe_area);
+  Alcotest.(check bool) "energy" true
+    (spec.Metrics.pe_energy_per_output <= base.Metrics.pe_energy_per_output);
+  Alcotest.(check bool) "fewer PEs" true
+    (spec.Metrics.n_pes < base.Metrics.n_pes)
+
+let test_post_pnr_includes_interconnect () =
+  let v = Dse.variant_for "base" in
+  let pnr, _ = Metrics.post_pnr ~effort:0 v gaussian in
+  Alcotest.(check bool) "total > PE cores" true
+    (pnr.Metrics.total_area > pnr.Metrics.pm.Metrics.total_pe_area);
+  Alcotest.(check bool) "SB area positive" true (pnr.sb_area > 0.0);
+  Alcotest.(check bool) "CB area positive" true (pnr.cb_area > 0.0);
+  Alcotest.(check bool) "energy grows" true
+    (pnr.total_energy_per_output > pnr.pm.Metrics.pe_energy_per_output)
+
+let test_post_pipelining_performance () =
+  let v = Dse.variant_for "base" in
+  let r = Metrics.post_pipelining ~effort:0 v gaussian in
+  Alcotest.(check bool) "period at or under pre-pipelining" true
+    (r.Metrics.period_ps <= r.Metrics.pre_period_ps);
+  Alcotest.(check bool) "post perf >= pre perf" true
+    (r.Metrics.perf_per_mm2 >= r.Metrics.pre_perf_per_mm2);
+  Alcotest.(check bool) "cycles dominated by firings" true
+    (r.Metrics.cycles_per_run > gaussian.outputs_per_run / gaussian.unroll)
+
+let test_domain_variant_covers_all_ip () =
+  let ip = Dse.pe_ip () in
+  List.iter
+    (fun (app : Apps.t) ->
+      match Metrics.post_mapping ip app with
+      | pm, _ ->
+          Alcotest.(check bool)
+            (app.name ^ " mapped")
+            true
+            (pm.Metrics.n_pes > 0)
+      | exception Apex_mapper.Cover.Unmappable m ->
+          Alcotest.failf "%s unmappable on PE IP: %s" app.name m)
+    (Dse.ip_apps ())
+
+let test_domain_generalizes_to_unseen () =
+  (* the Fig. 13 claim: PE IP must map the three unseen applications *)
+  let ip = Dse.pe_ip () in
+  List.iter
+    (fun (app : Apps.t) ->
+      match Metrics.post_mapping ip app with
+      | _, _ -> ()
+      | exception Apex_mapper.Cover.Unmappable m ->
+          Alcotest.failf "%s unmappable on PE IP: %s" app.name m)
+    (Apps.unseen ())
+
+let test_ml_variant_improves_ml () =
+  let ml = Dse.pe_ml () in
+  let base = Dse.variant_for "base" in
+  List.iter
+    (fun (app : Apps.t) ->
+      let b, _ = Metrics.post_mapping base app in
+      let m, _ = Metrics.post_mapping ml app in
+      Alcotest.(check bool)
+        (app.name ^ ": PE ML fewer PEs")
+        true
+        (m.Metrics.n_pes < b.Metrics.n_pes))
+    (Dse.ml_apps ())
+
+let () =
+  Alcotest.run "core"
+    [ ( "variants",
+        [ Alcotest.test_case "baseline" `Quick test_baseline_variant;
+          Alcotest.test_case "pe1 smaller" `Quick test_pe1_smaller_than_base;
+          Alcotest.test_case "specialized patterns" `Quick test_specialized_variant_patterns;
+          Alcotest.test_case "interesting filter" `Quick test_interesting_patterns_filter;
+          Alcotest.test_case "unknown variant" `Quick test_variant_for_unknown ] );
+      ( "metrics",
+        [ Alcotest.test_case "specialization shrinks area" `Quick
+            test_specialization_monotone_area;
+          Alcotest.test_case "PE Spec beats baseline" `Quick test_pe_spec_beats_baseline;
+          Alcotest.test_case "post-PnR interconnect" `Quick test_post_pnr_includes_interconnect;
+          Alcotest.test_case "post-pipelining performance" `Quick
+            test_post_pipelining_performance ] );
+      ( "domains",
+        [ Alcotest.test_case "PE IP covers the domain" `Slow test_domain_variant_covers_all_ip;
+          Alcotest.test_case "PE IP generalizes" `Slow test_domain_generalizes_to_unseen;
+          Alcotest.test_case "PE ML improves ML" `Slow test_ml_variant_improves_ml ] ) ]

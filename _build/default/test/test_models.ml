@@ -1,0 +1,138 @@
+(* Tests for the technology, interconnect and comparator models. *)
+
+module Op = Apex_dfg.Op
+module Tech = Apex_models.Tech
+module Interconnect = Apex_models.Interconnect
+module Comparators = Apex_models.Comparators
+
+let check = Alcotest.check
+
+let test_op_costs_positive () =
+  List.iter
+    (fun op ->
+      let c = Tech.op_cost op in
+      Alcotest.(check bool) (Op.mnemonic op ^ " area") true (c.area > 0.0);
+      Alcotest.(check bool) (Op.mnemonic op ^ " energy") true (c.energy > 0.0);
+      Alcotest.(check bool) (Op.mnemonic op ^ " delay") true (c.delay > 0.0))
+    Op.all_compute
+
+let test_mul_dominates () =
+  let mul = Tech.op_cost Op.Mul and add = Tech.op_cost Op.Add in
+  Alcotest.(check bool) "area" true (mul.area > 2.0 *. add.area);
+  Alcotest.(check bool) "energy" true (mul.energy > 5.0 *. add.energy);
+  Alcotest.(check bool) "delay" true (mul.delay > 1.5 *. add.delay)
+
+let test_mux_cost_monotone () =
+  let prev = ref (-1.0) in
+  for n = 1 to 12 do
+    let c = Tech.word_mux_cost n in
+    Alcotest.(check bool) "monotone area" true (c.area >= !prev);
+    prev := c.area
+  done;
+  check Alcotest.(float 0.001) "1-input mux is free" 0.0 (Tech.word_mux_cost 1).area
+
+let test_slice_cheaper_than_block () =
+  List.iter
+    (fun op ->
+      if Op.is_compute op then
+        Alcotest.(check bool)
+          (Op.mnemonic op ^ " slice < dedicated")
+          true
+          (Tech.op_slice op < (Tech.op_cost op).area))
+    [ Op.Add; Op.Sub; Op.Smax; Op.Lshr; Op.Slt ]
+
+let test_kind_cost_known_kinds () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " positive") true ((Tech.kind_cost k).area > 0.0))
+    [ "alu"; "mul"; "shift"; "logic"; "cmp"; "mux"; "lut" ];
+  Alcotest.(check bool) "unknown kind raises" true
+    (try
+       ignore (Tech.kind_cost "quantum");
+       false
+     with Invalid_argument _ -> true)
+
+let test_config_overhead_linear () =
+  let a = (Tech.config_overhead ~n_config_bits:10).area in
+  let b = (Tech.config_overhead ~n_config_bits:20).area in
+  check Alcotest.(float 0.001) "linear in bits" (2.0 *. a) b
+
+(* --- interconnect --- *)
+
+let test_sb_cost_scales_with_tracks () =
+  let small = Interconnect.sb_cost { word_tracks = 2; bit_tracks = 2 } ~tile_outputs:2 in
+  let big = Interconnect.sb_cost { word_tracks = 8; bit_tracks = 8 } ~tile_outputs:2 in
+  Alcotest.(check bool) "more tracks cost more" true (big.area > 2.0 *. small.area)
+
+let test_sb_reasonable_vs_pe () =
+  (* the switch box must not dwarf the PE core (a bring-up bug we hit) *)
+  let sb = Interconnect.sb_cost Interconnect.default ~tile_outputs:2 in
+  let pe = Apex_merging.Datapath.area (Apex_peak.Library.baseline ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "SB %.0f < 3x PE %.0f" sb.area pe)
+    true
+    (sb.area < 3.0 *. pe)
+
+let test_cb_cheaper_than_sb () =
+  let sb = Interconnect.sb_cost Interconnect.default ~tile_outputs:2 in
+  let cb = Interconnect.cb_cost Interconnect.default in
+  Alcotest.(check bool) "cb < sb" true (cb.area < sb.area);
+  let cb_bit = Interconnect.cb_bit_cost Interconnect.default in
+  Alcotest.(check bool) "bit cb much cheaper" true (cb_bit.area < cb.area /. 4.0)
+
+let test_tile_interconnect_additive () =
+  let p = Interconnect.default in
+  let base = Interconnect.tile_interconnect_cost p ~word_inputs:0 ~bit_inputs:0 ~tile_outputs:2 in
+  let with_inputs =
+    Interconnect.tile_interconnect_cost p ~word_inputs:3 ~bit_inputs:2 ~tile_outputs:2
+  in
+  Alcotest.(check bool) "inputs add CBs" true (with_inputs.area > base.area)
+
+(* --- comparator models --- *)
+
+let profile =
+  { Comparators.word_ops = 60; mul_ops = 12; outputs = 1920 * 1080;
+    critical_ops = 20 }
+
+let test_fpga_worst_asic_best () =
+  let fpga = Comparators.fpga profile in
+  let asic = Comparators.asic profile in
+  Alcotest.(check bool) "fpga uses much more energy" true
+    (fpga.energy_uj > 30.0 *. asic.energy_uj);
+  Alcotest.(check bool) "asic at least as fast" true
+    (asic.runtime_ms <= fpga.runtime_ms);
+  Alcotest.(check bool) "asic smaller" true (asic.area_mm2 < fpga.area_mm2)
+
+let test_simba_near_asic () =
+  let ml = { profile with mul_ops = 40; outputs = 56 * 56 * 16 } in
+  let simba = Comparators.simba ml in
+  let asic = Comparators.asic ml in
+  Alcotest.(check bool) "within 30% of ASIC energy" true
+    (simba.energy_uj < 1.3 *. asic.energy_uj);
+  Alcotest.(check bool) "parallel MACs are fast" true
+    (simba.runtime_ms < asic.runtime_ms)
+
+let test_energy_scales_with_outputs () =
+  let half = Comparators.fpga { profile with outputs = profile.outputs / 2 } in
+  let full = Comparators.fpga profile in
+  Alcotest.(check bool) "roughly halves" true
+    (half.energy_uj < 0.55 *. full.energy_uj)
+
+let () =
+  Alcotest.run "models"
+    [ ( "tech",
+        [ Alcotest.test_case "costs positive" `Quick test_op_costs_positive;
+          Alcotest.test_case "mul dominates" `Quick test_mul_dominates;
+          Alcotest.test_case "mux monotone" `Quick test_mux_cost_monotone;
+          Alcotest.test_case "slices cheaper" `Quick test_slice_cheaper_than_block;
+          Alcotest.test_case "kind costs" `Quick test_kind_cost_known_kinds;
+          Alcotest.test_case "config overhead" `Quick test_config_overhead_linear ] );
+      ( "interconnect",
+        [ Alcotest.test_case "sb scales with tracks" `Quick test_sb_cost_scales_with_tracks;
+          Alcotest.test_case "sb vs pe sanity" `Quick test_sb_reasonable_vs_pe;
+          Alcotest.test_case "cb cheaper" `Quick test_cb_cheaper_than_sb;
+          Alcotest.test_case "tile additive" `Quick test_tile_interconnect_additive ] );
+      ( "comparators",
+        [ Alcotest.test_case "fpga/asic ordering" `Quick test_fpga_worst_asic_best;
+          Alcotest.test_case "simba near asic" `Quick test_simba_near_asic;
+          Alcotest.test_case "energy scaling" `Quick test_energy_scales_with_outputs ] ) ]

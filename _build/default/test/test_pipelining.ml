@@ -1,0 +1,186 @@
+(* Tests for PE pipelining (retiming) and application branch-delay
+   matching. *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module Pattern = Apex_mining.Pattern
+module D = Apex_merging.Datapath
+module Merge = Apex_merging.Merge
+module Library = Apex_peak.Library
+module Cost = Apex_peak.Cost
+module Rules = Apex_mapper.Rules
+module Cover = Apex_mapper.Cover
+module Pe_pipeline = Apex_pipelining.Pe_pipeline
+module App_pipeline = Apex_pipelining.App_pipeline
+module Apps = Apex_halide.Apps
+
+let check = Alcotest.check
+let int = Alcotest.int
+
+(* a deep datapath: chain of n multipliers *)
+let deep_chain n =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let acc = ref x in
+  for _ = 1 to n do
+    acc := G.Builder.add2 b Op.Mul !acc y
+  done;
+  ignore (G.Builder.add1 b (Op.Output "o") !acc);
+  D.of_pattern (Pattern.of_graph (G.Builder.finish b))
+
+(* --- PE pipelining --- *)
+
+let test_single_stage_matches_critical_path () =
+  let dp = Library.baseline () in
+  let period, regs = Pe_pipeline.min_period dp ~stages:1 in
+  check int "no registers with one stage" 0 regs;
+  let cp = Cost.critical_path dp in
+  Alcotest.(check bool)
+    (Printf.sprintf "period %.0f >= active critical path %.0f" period cp)
+    true (period >= cp -. 1.0)
+
+let test_more_stages_lower_period () =
+  let dp = deep_chain 6 in
+  let p1, _ = Pe_pipeline.min_period dp ~stages:1 in
+  let p2, r2 = Pe_pipeline.min_period dp ~stages:2 in
+  let p4, r4 = Pe_pipeline.min_period dp ~stages:4 in
+  Alcotest.(check bool) "2 stages better" true (p2 < p1);
+  Alcotest.(check bool) "4 stages better still" true (p4 < p2);
+  Alcotest.(check bool) "registers inserted" true (r2 > 0 && r4 > r2)
+
+let test_period_never_below_slowest_node () =
+  let dp = deep_chain 6 in
+  let slowest =
+    Array.fold_left
+      (fun acc (n : D.node) -> Float.max acc (Pe_pipeline.node_delay dp n.id))
+      0.0 dp.nodes
+  in
+  let p8, _ = Pe_pipeline.min_period dp ~stages:8 in
+  Alcotest.(check bool) "floor respected" true (p8 >= slowest -. 1.0)
+
+let test_plan_meets_target_or_saturates () =
+  let dp = deep_chain 6 in
+  let plan = Pe_pipeline.plan ~target_ps:1100.0 dp in
+  Alcotest.(check bool) "multiple stages" true (plan.stages >= 2);
+  Alcotest.(check bool) "period near target" true
+    (plan.period_ps <= 1100.0 +. 1.0);
+  Alcotest.(check bool) "register cost accounted" true (plan.reg_area > 0.0)
+
+let test_plan_trivial_for_fast_pe () =
+  let dp = Library.subset ~ops:[ Op.Add ] in
+  let plan = Pe_pipeline.plan ~target_ps:1100.0 dp in
+  check int "one stage suffices" 1 plan.stages;
+  check int "no registers" 0 plan.regs_inserted
+
+(* --- application pipelining --- *)
+
+let mapped_gaussian () =
+  let app = Apps.by_name "gaussian" in
+  let dp = Library.baseline () in
+  let rules = Rules.single_op_rules dp in
+  (Cover.map_app ~rules app.graph, dp)
+
+let test_balance_depth_positive () =
+  let mapped, _ = mapped_gaussian () in
+  let plan = App_pipeline.balance mapped ~pe_latency:1 in
+  Alcotest.(check bool) "depth > 0" true (plan.depth_cycles > 0);
+  Alcotest.(check bool) "some balancing needed" true
+    (plan.n_regs + plan.n_reg_files > 0)
+
+let test_balance_no_negative_slack () =
+  let mapped, _ = mapped_gaussian () in
+  let plan = App_pipeline.balance mapped ~pe_latency:2 in
+  List.iter
+    (fun (_, k) -> Alcotest.(check bool) "slack >= 0" true (k > 0))
+    plan.edge_regs
+
+let test_higher_latency_more_registers () =
+  let mapped, _ = mapped_gaussian () in
+  let p1 = App_pipeline.balance mapped ~pe_latency:1 in
+  let p3 = App_pipeline.balance mapped ~pe_latency:3 in
+  Alcotest.(check bool) "deeper pipeline" true (p3.depth_cycles > p1.depth_cycles);
+  Alcotest.(check bool) "at least as many buffered words" true
+    (p3.n_regs + p3.rf_total_depth >= p1.n_regs + p1.rf_total_depth)
+
+let test_rf_cutoff () =
+  let mapped, _ = mapped_gaussian () in
+  let no_rf = App_pipeline.balance ~rf_cutoff:10_000 mapped ~pe_latency:2 in
+  check int "no register files with huge cutoff" 0 no_rf.n_reg_files;
+  let all_rf = App_pipeline.balance ~rf_cutoff:0 mapped ~pe_latency:2 in
+  check int "no plain registers with cutoff 0" 0 all_rf.n_regs;
+  (* default cutoff: chains > 2 become register files (Fig. 9) *)
+  let default = App_pipeline.balance mapped ~pe_latency:2 in
+  List.iter
+    (fun (_, k) ->
+      if k > 2 then
+        Alcotest.(check bool) "long chains counted as RFs" true
+          (default.n_reg_files > 0))
+    default.edge_regs
+
+let test_rf_reduces_interconnect_registers () =
+  let mapped, _ = mapped_gaussian () in
+  let with_rf = App_pipeline.balance ~rf_cutoff:2 mapped ~pe_latency:3 in
+  let without = App_pipeline.balance ~rf_cutoff:10_000 mapped ~pe_latency:3 in
+  Alcotest.(check bool) "fewer interconnect registers" true
+    (with_rf.n_regs <= without.n_regs)
+
+
+(* --- pipelined RTL emission --- *)
+
+let test_pipelined_verilog () =
+  let dp = deep_chain 4 in
+  let plan = Pe_pipeline.plan ~target_ps:1100.0 dp in
+  Alcotest.(check bool) "needs stages" true (plan.stages >= 2);
+  match Pe_pipeline.assign_stages dp ~period_ps:plan.period_ps ~stages:plan.stages with
+  | None -> Alcotest.fail "plan period must be feasible"
+  | Some stages ->
+      let spec = Apex_peak.Spec.of_datapath ~name:"chain" dp in
+      let v = Apex_peak.Verilog.emit ~stages spec in
+      let contains s =
+        let re = Str.regexp_string s in
+        (try ignore (Str.search_forward re v 0); true with Not_found -> false)
+      in
+      Alcotest.(check bool) "has pipeline registers" true (contains "_d1");
+      Alcotest.(check bool) "clocked" true (contains "always @(posedge clk)");
+      (* combinational emission must not contain delay registers *)
+      let comb = Apex_peak.Verilog.emit spec in
+      let re = Str.regexp_string "_d1" in
+      Alcotest.(check bool) "comb has none" true
+        (match Str.search_forward re comb 0 with
+        | _ -> false
+        | exception Not_found -> true)
+
+let test_assign_stages_monotone () =
+  let dp = deep_chain 5 in
+  let period, _ = Pe_pipeline.min_period dp ~stages:3 in
+  match Pe_pipeline.assign_stages dp ~period_ps:period ~stages:3 with
+  | None -> Alcotest.fail "feasible by construction"
+  | Some stages ->
+      (* stages never decrease along an edge *)
+      List.iter
+        (fun (e : Apex_merging.Datapath.edge) ->
+          Alcotest.(check bool) "monotone" true (stages.(e.dst) >= stages.(e.src)))
+        dp.edges;
+      Alcotest.(check bool) "uses multiple stages" true
+        (Array.fold_left max 0 stages >= 1)
+
+let () =
+  Alcotest.run "pipelining"
+    [ ( "pe",
+        [ Alcotest.test_case "single stage = critical path" `Quick
+            test_single_stage_matches_critical_path;
+          Alcotest.test_case "stages reduce period" `Quick test_more_stages_lower_period;
+          Alcotest.test_case "slowest node floor" `Quick test_period_never_below_slowest_node;
+          Alcotest.test_case "plan meets target" `Quick test_plan_meets_target_or_saturates;
+          Alcotest.test_case "trivial plan for fast PE" `Quick test_plan_trivial_for_fast_pe ] );
+      ( "app",
+        [ Alcotest.test_case "depth positive" `Quick test_balance_depth_positive;
+          Alcotest.test_case "no negative slack" `Quick test_balance_no_negative_slack;
+          Alcotest.test_case "latency grows registers" `Quick test_higher_latency_more_registers;
+          Alcotest.test_case "rf cutoff" `Quick test_rf_cutoff;
+          Alcotest.test_case "rf unloads interconnect" `Quick
+            test_rf_reduces_interconnect_registers ] );
+      ( "rtl",
+        [ Alcotest.test_case "pipelined verilog" `Quick test_pipelined_verilog;
+          Alcotest.test_case "stage monotonicity" `Quick test_assign_stages_monotone ] ) ]
