@@ -1,0 +1,31 @@
+CI_TRACE := /tmp/apex-ci-trace.json
+
+.PHONY: all build test bench ci clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# Build, run the full test suite, then smoke-test the instrumented flow:
+# a traced profile of the camera pipeline must produce a well-formed,
+# non-empty JSON report with the key search counters populated.
+ci: build test
+	dune exec bin/apex_cli.exe -- profile camera --trace=$(CI_TRACE)
+	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
+	  --require mining.patterns_grown \
+	  --require mining.embeddings_enumerated \
+	  --require merging.clique_nodes \
+	  --require rules.synthesized \
+	  --require mapper.cover_attempts \
+	  --require dse.memo_hits
+
+clean:
+	dune clean
+	rm -f $(CI_TRACE)

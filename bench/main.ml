@@ -31,6 +31,27 @@ module Variants = Apex.Variants
 
 let effort = ref 1
 
+(* --trace[=FILE] (or APEX_TRACE): run each experiment with telemetry on
+   and bundle one JSON report per case into a bench report *)
+let trace_file = ref (Apex_telemetry.Report.env_trace_path ())
+
+let run_experiments cases =
+  match !trace_file with
+  | None -> List.iter (fun (_, f) -> f ()) cases
+  | Some path ->
+      Apex_telemetry.Registry.enable ();
+      let reports =
+        List.map
+          (fun (name, f) ->
+            Apex_telemetry.Registry.reset ();
+            Apex_telemetry.Span.with_ name f;
+            (name, Apex_telemetry.Registry.snapshot ()))
+          cases
+      in
+      Apex_telemetry.Report.write_bench_file path reports;
+      Format.printf "@.telemetry: bench JSON report (%d cases) written to %s@."
+        (List.length reports) path
+
 let section title = Format.printf "@.=== %s ===@." title
 
 (* memoized post-pipelining evaluation: several figures share it *)
@@ -572,6 +593,14 @@ let () =
           effort := 0;
           false
         end
+        else if a = "--trace" then begin
+          trace_file := Some "apex-bench-telemetry.json";
+          false
+        end
+        else if String.length a > 8 && String.sub a 0 8 = "--trace=" then begin
+          trace_file := Some (String.sub a 8 (String.length a - 8));
+          false
+        end
         else true)
       args
   in
@@ -579,13 +608,15 @@ let () =
   | [ "--timing" ] -> timing ()
   | [] ->
       Format.printf "APEX evaluation harness: regenerating every table and figure.@.";
-      List.iter (fun (_, f) -> f ()) experiments
+      run_experiments experiments
   | names ->
-      List.iter
+      List.filter_map
         (fun name ->
           match List.assoc_opt name experiments with
-          | Some f -> f ()
+          | Some f -> Some (name, f)
           | None ->
               Format.printf "unknown experiment %s; available: %s@." name
-                (String.concat " " (List.map fst experiments)))
+                (String.concat " " (List.map fst experiments));
+              None)
         names
+      |> run_experiments

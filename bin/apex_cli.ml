@@ -8,16 +8,69 @@ module Analysis = Apex_mining.Analysis
 module Pattern = Apex_mining.Pattern
 module G = Apex_dfg.Graph
 module D = Apex_merging.Datapath
+module Registry = Apex_telemetry.Registry
+module Report = Apex_telemetry.Report
+module Json = Apex_telemetry.Json
 
 let app_arg =
   let doc = "Application name (see `apex apps`)." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let app_by_name name =
+  match Apps.by_name name with
+  | a -> a
+  | exception Not_found ->
+      invalid_arg
+        (Printf.sprintf "unknown application %S (see `apex apps`)" name)
 
 let variant_arg =
   let doc =
     "PE variant: base, pe1:<app>, pek:<app>:<k>, spec:<app>, ip, ip2, ip3, ml."
   in
   Arg.(value & opt string "base" & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
+
+(* --- telemetry plumbing: a --trace[=FILE] flag shared by every
+   subcommand.  --trace enables the registry and prints the span tree
+   and counter table after the run; --trace=FILE (or the APEX_TRACE
+   environment variable) additionally writes the JSON report. *)
+
+let trace_arg =
+  let doc =
+    "Enable telemetry: print the span tree and counter table after the run. \
+     With $(docv), also write the machine-readable JSON report there. The \
+     APEX_TRACE environment variable enables the JSON report without the \
+     flag."
+  in
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* resolve the report path: an explicit --trace=FILE wins over APEX_TRACE *)
+let trace_report_path trace =
+  match trace with
+  | Some file when file <> "" -> Some file
+  | _ -> Report.env_trace_path ()
+
+let emit_trace ~print trace =
+  let snap = Registry.snapshot () in
+  if print then Format.printf "@.%a" Report.pp snap;
+  match trace_report_path trace with
+  | None -> ()
+  | Some path -> (
+      (* a failed report write must not change the run's outcome *)
+      match Report.write_file path snap with
+      | () -> Format.eprintf "telemetry: JSON report written to %s@." path
+      | exception Sys_error m ->
+          Format.eprintf "telemetry: cannot write JSON report: %s@." m)
+
+let with_trace trace f =
+  if trace = None && Report.env_trace_path () = None then f ()
+  else begin
+    Registry.enable ();
+    Registry.reset ();
+    Fun.protect f ~finally:(fun () -> emit_trace ~print:(trace <> None) trace)
+  end
 
 (* --- apps --- *)
 
@@ -42,8 +95,9 @@ let apps_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run app top =
-    let a = Apps.by_name app in
+  let run trace app top =
+    with_trace trace @@ fun () ->
+    let a = app_by_name app in
     let ranked = Apex.Variants.analysis_of a in
     Format.printf "%d frequent subgraphs for %s; top %d by MIS:@."
       (List.length ranked) app top;
@@ -57,12 +111,13 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Mine an application's frequent subgraphs and rank them by MIS size.")
-    Term.(const run $ app_arg $ top)
+    Term.(const run $ trace_arg $ app_arg $ top)
 
 (* --- pe (show a variant) --- *)
 
 let pe_cmd =
-  let run variant verilog dot =
+  let run trace variant verilog dot =
+    with_trace trace @@ fun () ->
     let v = Apex.Dse.variant_for variant in
     Format.printf "variant %s: area %.1f um^2, %d FUs, %d configs, %d rules@."
       v.name (D.area v.dp)
@@ -96,13 +151,14 @@ let pe_cmd =
   in
   Cmd.v
     (Cmd.info "pe" ~doc:"Generate and describe a PE variant.")
-    Term.(const run $ variant_arg $ verilog $ dot)
+    Term.(const run $ trace_arg $ variant_arg $ verilog $ dot)
 
 (* --- map --- *)
 
 let map_cmd =
-  let run app variant =
-    let a = Apps.by_name app in
+  let run trace app variant =
+    with_trace trace @@ fun () ->
+    let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match Apex.Metrics.post_mapping v a with
     | pm, mapped ->
@@ -116,13 +172,14 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map an application onto a PE variant (post-mapping).")
-    Term.(const run $ app_arg $ variant_arg)
+    Term.(const run $ trace_arg $ app_arg $ variant_arg)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run app variant level effort =
-    let a = Apps.by_name app in
+  let run trace app variant level effort =
+    with_trace trace @@ fun () ->
+    let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match level with
     | "mapping" ->
@@ -156,12 +213,13 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate an application on a PE variant.")
-    Term.(const run $ app_arg $ variant_arg $ level $ effort)
+    Term.(const run $ trace_arg $ app_arg $ variant_arg $ level $ effort)
 
 (* --- verify (rewrite rules) --- *)
 
 let verify_cmd =
-  let run variant =
+  let run trace variant =
+    with_trace trace @@ fun () ->
     let v = Apex.Dse.variant_for variant in
     Format.printf "verifying the %d rewrite rules of %s:@."
       (List.length v.rules) v.name;
@@ -177,13 +235,14 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Re-verify every rewrite rule of a variant with the SAT engine.")
-    Term.(const run $ variant_arg)
+    Term.(const run $ trace_arg $ variant_arg)
 
 (* --- compile: the whole back end with bitstream and simulation --- *)
 
 let compile_cmd =
-  let run app variant sim_frames emit_fabric =
-    let a = Apps.by_name app in
+  let run trace app variant sim_frames emit_fabric =
+    with_trace trace @@ fun () ->
+    let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     let spec = Apex_peak.Spec.of_datapath ~name:v.name v.dp in
     let mapped = Apex_mapper.Cover.map_app ~rules:v.rules a.graph in
@@ -236,11 +295,178 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Map, place, route and generate the bitstream for an application.")
-    Term.(const run $ app_arg $ variant_arg $ sim $ emit_fabric)
+    Term.(const run $ trace_arg $ app_arg $ variant_arg $ sim $ emit_fabric)
+
+(* --- profile: the full DSE flow with telemetry always on --- *)
+
+let profile_cmd =
+  let run trace app variant =
+    let a = app_by_name app in
+    let vspec =
+      match variant with Some v -> v | None -> "spec:" ^ a.Apps.name
+    in
+    (* profile implies tracing: the whole point is the report *)
+    Registry.enable ();
+    Registry.reset ();
+    let ranked = Apex.Variants.analysis_of a in
+    let v = Apex.Dse.variant_for vspec in
+    (* compare against the single-op PE 1 baseline; when [vspec] is the
+       default spec:<app>, the variant search already built it, so this
+       is a memo hit *)
+    let reference = Apex.Dse.pe_k a 0 in
+    let summarize (var : Apex.Variants.t) =
+      match Apex.Metrics.post_pipelining var a with
+      | pp -> Some pp
+      | exception Apex_mapper.Cover.Unmappable _ -> None
+    in
+    let pp = summarize v in
+    let pp_ref = summarize reference in
+    Format.printf "profile %s on %s: %d mined subgraphs, %d rules@." a.Apps.name
+      v.name (List.length ranked) (List.length v.rules);
+    (match (pp, pp_ref) with
+    | Some pp, Some pr ->
+        Format.printf
+          "  %.2f runs/ms/mm^2 vs %.2f on %s (%.2fx); %d PEs, %d cycles/run@."
+          pp.Apex.Metrics.perf_per_mm2 pr.Apex.Metrics.perf_per_mm2
+          reference.name
+          (pp.Apex.Metrics.perf_per_mm2
+          /. Float.max 1e-9 pr.Apex.Metrics.perf_per_mm2)
+          pp.pnr.pm.n_pes pp.cycles_per_run
+    | Some pp, None ->
+        Format.printf "  %.2f runs/ms/mm^2; %d PEs, %d cycles/run@."
+          pp.Apex.Metrics.perf_per_mm2 pp.pnr.pm.n_pes pp.cycles_per_run
+    | None, _ -> Format.printf "  unmappable on %s@." v.name);
+    let snap = Registry.snapshot () in
+    Format.printf "@.%a" Report.pp snap;
+    match trace_report_path trace with
+    | None -> ()
+    | Some path -> (
+        match Report.write_file path snap with
+        | () -> Format.eprintf "telemetry: JSON report written to %s@." path
+        | exception Sys_error m ->
+            Format.eprintf "telemetry: cannot write JSON report: %s@." m)
+  in
+  let variant =
+    let doc = "PE variant to profile (default: spec:<app>)." in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Run mining, variant search, mapping, PnR and pipelining for an \
+          application with telemetry enabled, then print the span tree and \
+          counter tables (and write the JSON report with --trace=FILE or \
+          APEX_TRACE).")
+    Term.(const run $ trace_arg $ app_arg $ variant)
+
+(* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
+
+let trace_check_cmd =
+  let run file requires =
+    let fail fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.printf "trace-check: %s: %s@." file m;
+          exit 1)
+        fmt
+    in
+    let contents =
+      match
+        let ic = open_in_bin file in
+        Fun.protect
+          (fun () -> really_input_string ic (in_channel_length ic))
+          ~finally:(fun () -> close_in ic)
+      with
+      | s -> s
+      | exception Sys_error m -> fail "%s" m
+    in
+    let json =
+      match Json.of_string contents with
+      | Ok j -> j
+      | Error m -> fail "invalid JSON: %s" m
+    in
+    let schema =
+      match Option.bind (Json.member "schema" json) Json.to_string_opt with
+      | Some s -> s
+      | None -> fail "missing \"schema\" field"
+    in
+    (* a bench report wraps one run report per case; a run report is
+       checked directly *)
+    let reports =
+      if schema = Report.schema_version then [ ("run", json) ]
+      else if schema = Report.bench_schema_version then
+        match Option.bind (Json.member "cases" json) Json.to_list_opt with
+        | Some (_ :: _ as cases) ->
+            List.map
+              (fun case ->
+                let name =
+                  Option.bind (Json.member "name" case) Json.to_string_opt
+                  |> Option.value ~default:"?"
+                in
+                match Json.member "report" case with
+                | Some r -> (name, r)
+                | None -> fail "case %s has no \"report\"" name)
+              cases
+        | _ -> fail "bench report has no cases"
+      else fail "unknown schema %S" schema
+    in
+    let check (label, report) =
+      let counters =
+        match Json.member "counters" report with
+        | Some (Json.Obj fields) -> fields
+        | _ -> fail "%s: missing counters object" label
+      in
+      if counters = [] then fail "%s: empty counters object" label;
+      if Json.member "spans" report = None then
+        fail "%s: missing spans object" label;
+      List.iter
+        (fun name ->
+          match Option.bind (List.assoc_opt name counters) Json.to_int_opt with
+          | Some n when n > 0 -> ()
+          | Some _ -> fail "%s: counter %s is zero" label name
+          | None -> fail "%s: counter %s is missing" label name)
+        requires
+    in
+    List.iter check reports;
+    Format.printf "trace-check: %s: ok (%d report%s, %d required counters)@."
+      file (List.length reports)
+      (if List.length reports = 1 then "" else "s")
+      (List.length requires)
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSON telemetry report to validate.")
+  in
+  let requires =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "require" ] ~docv:"COUNTER"
+          ~doc:"Fail unless $(docv) is present and non-zero (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a telemetry JSON report written by --trace or bench.")
+    Term.(const run $ file $ requires)
 
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
-    [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd; compile_cmd ]
+    [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd;
+      compile_cmd; profile_cmd; trace_check_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* user errors (bad variant spec, unmappable app) deserve a clean
+     one-line message, not cmdliner's "internal error" banner *)
+  try exit (Cmd.eval ~catch:false main) with
+  | Invalid_argument msg | Failure msg ->
+      Format.eprintf "apex: %s@." msg;
+      exit 2
+  | Apex_mapper.Cover.Unmappable msg ->
+      Format.eprintf "apex: unmappable: %s@." msg;
+      exit 1

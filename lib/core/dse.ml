@@ -1,12 +1,17 @@
 module Apps = Apex_halide.Apps
+module Counter = Apex_telemetry.Counter
+module Span = Apex_telemetry.Span
 
 let cache : (string, Variants.t) Hashtbl.t = Hashtbl.create 16
 
 let memo key f =
   match Hashtbl.find_opt cache key with
-  | Some v -> v
+  | Some v ->
+      Counter.incr "dse.memo_hits";
+      v
   | None ->
-      let v = f () in
+      Counter.incr "dse.memo_misses";
+      let v = Span.with_ ("variant:" ^ key) f in
       Hashtbl.replace cache key v;
       v
 
@@ -104,6 +109,21 @@ let pe_ip3 () =
 let pe_ml () =
   memo "ml" (fun () -> Variants.domain ~name:"PE ML" ~per_app:2 (ml_apps ()))
 
+let accepted_variant_forms =
+  [ "base"; "ip"; "ip2"; "ip3"; "ml"; "spec:<app>"; "pe1:<app>"; "pek:<app>:<k>" ]
+
+let variant_error spec detail =
+  invalid_arg
+    (Printf.sprintf "Dse.variant_for: %s in %S (accepted forms: %s)" detail
+       spec
+       (String.concat ", " accepted_variant_forms))
+
+let app_for spec name =
+  match Apps.by_name name with
+  | app -> app
+  | exception Not_found ->
+      variant_error spec (Printf.sprintf "unknown application %S" name)
+
 let variant_for name =
   match String.split_on_char ':' name with
   | [ "base" ] -> baseline ()
@@ -111,7 +131,15 @@ let variant_for name =
   | [ "ip2" ] -> pe_ip2 ()
   | [ "ip3" ] -> pe_ip3 ()
   | [ "ml" ] -> pe_ml ()
-  | [ "spec"; app ] -> pe_spec (Apps.by_name app)
-  | [ "pe1"; app ] -> pe_k (Apps.by_name app) 0
-  | [ "pek"; app; k ] -> pe_k (Apps.by_name app) (int_of_string k)
-  | _ -> invalid_arg ("Dse.variant_for: unknown variant " ^ name)
+  | [ "spec"; app ] -> pe_spec (app_for name app)
+  | [ "pe1"; app ] -> pe_k (app_for name app) 0
+  | [ "pek"; app; k ] -> (
+      match int_of_string_opt k with
+      | Some n when n >= 0 -> pe_k (app_for name app) n
+      | Some _ ->
+          variant_error name
+            (Printf.sprintf "negative subgraph count %S" k)
+      | None ->
+          variant_error name
+            (Printf.sprintf "malformed subgraph count %S" k))
+  | _ -> variant_error name (Printf.sprintf "unknown variant %S" name)

@@ -2,6 +2,13 @@
     families matching the paper's experiments, with memoization of the
     expensive steps (mining, merging, rule synthesis). *)
 
+val baseline : unit -> Variants.t
+(** The fully general PE Base (memoized). *)
+
+val pe_k : Apex_halide.Apps.t -> int -> Variants.t
+(** [pe_k app k] is the application PE with the top [k] mined subgraphs
+    merged in; [pe_k app 0] is the op-subset PE 1 (memoized). *)
+
 val camera_variants : unit -> Variants.t list
 (** PE Base, PE 1 ... PE 4 for the camera pipeline (Section 5.1,
     Table 2 / Fig. 11). *)

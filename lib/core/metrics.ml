@@ -86,6 +86,7 @@ let hop_energy params =
 
 let post_pnr ?(effort = 1) (v : Variants.t) (app : Apps.t) =
   let pm, mapped = post_mapping v app in
+  Apex_telemetry.Span.with_ "pnr" @@ fun () ->
   let fabric = fabric_for mapped in
   let placement = Place.place ~effort fabric mapped in
   let routes = Route.route placement mapped in
@@ -137,6 +138,7 @@ let post_pnr ?(effort = 1) (v : Variants.t) (app : Apps.t) =
 let post_pipelining ?(effort = 1) ?(rf_cutoff = 2) (v : Variants.t)
     (app : Apps.t) =
   let pnr, mapped = post_pnr ~effort v app in
+  Apex_telemetry.Span.with_ "pipelining" @@ fun () ->
   let pe_plan = Pe_pipeline.plan v.dp in
   let app_plan =
     App_pipeline.balance ~rf_cutoff mapped ~pe_latency:pe_plan.stages
@@ -163,6 +165,10 @@ let post_pipelining ?(effort = 1) ?(rf_cutoff = 2) (v : Variants.t)
   in
   let area_mm2 = (pnr.total_area +. reg_area) *. 1e-6 in
   let perf runtime = 1.0 /. runtime /. Float.max 1e-9 area_mm2 in
+  (* achieved initiation interval: cycles per output firing, including
+     the amortized pipeline fill *)
+  Apex_telemetry.Counter.observe "pipelining.ii_achieved"
+    (float_of_int cycles_per_run /. float_of_int (max 1 firings));
   { pnr;
     pe_stages = pe_plan.stages;
     period_ps;

@@ -26,8 +26,11 @@ let config_key (c : Miner.config) =
 let analysis_of ?(config = default_mining) (app : Apps.t) =
   let key = (app.name, config_key config) in
   match Hashtbl.find_opt analysis_cache key with
-  | Some r -> r
+  | Some r ->
+      Apex_telemetry.Counter.incr "dse.analysis_cache_hits";
+      r
   | None ->
+      Apex_telemetry.Counter.incr "dse.analysis_cache_misses";
       let ranked, _ = Analysis.analyze ~config app.graph in
       Hashtbl.replace analysis_cache key ranked;
       ranked

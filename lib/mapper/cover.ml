@@ -93,7 +93,11 @@ let specialize (rule : Rules.t) app (binding : Match.binding) =
     end
   end
 
+module Counter = Apex_telemetry.Counter
+
 let map_app ?(order = Complex_first) ~rules app =
+  Apex_telemetry.Span.with_ "mapping" @@ fun () ->
+  Counter.incr "mapper.map_app_calls";
   let rules =
     match order with
     | Complex_first -> List.sort (fun (a : Rules.t) b -> compare b.size a.size) rules
@@ -158,7 +162,8 @@ let map_app ?(order = Complex_first) ~rules app =
     end
   in
   let try_rule (rule : Rules.t) root =
-    if not covered.(root) then
+    if not covered.(root) then begin
+      Counter.incr "mapper.cover_attempts";
       let bindings =
         Match.matches_at ~wild_consts:rule.Rules.wild_consts rule.pattern app
           ~root
@@ -199,7 +204,9 @@ let map_app ?(order = Complex_first) ~rules app =
                   end)
                 binding.nodes;
               incr n_accepted;
+              Counter.incr "mapper.matches_accepted";
               accepted := (rule, binding, config) :: !accepted)
+    end
   in
   List.iter
     (fun rule ->
@@ -281,7 +288,9 @@ let map_app ?(order = Complex_first) ~rules app =
            in
            (name, resolve nd.args.(0)))
   in
-  { app; instances; outputs }
+  let mapped = { app; instances; outputs } in
+  Counter.add "mapper.pes_mapped" (Array.length instances);
+  mapped
 
 let n_pes m = Array.length m.instances
 

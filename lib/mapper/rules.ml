@@ -149,14 +149,18 @@ let pattern_rule ?(verify = true) (dp : D.t) p =
         | Verify.Proved _ | Verify.Tested -> true
         | Verify.Refuted _ -> false
       in
-      if ok then
+      if ok then begin
+        Apex_telemetry.Counter.incr "rules.verified";
         Some
           { pattern = p; config = rule.Synth.config;
             wild_consts = pattern_consts p <> [];
             size = Pattern.size p }
+      end
       else None
 
 let rule_set ?verify (dp : D.t) ~patterns =
+  Apex_telemetry.Span.with_ "rules" @@ fun () ->
   let complex = List.filter_map (pattern_rule ?verify dp) patterns in
   let simple = single_op_rules dp in
+  Apex_telemetry.Counter.add "rules.in_rule_set" (List.length complex + List.length simple);
   List.sort (fun a b -> compare b.size a.size) (complex @ simple)

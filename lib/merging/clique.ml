@@ -31,6 +31,7 @@ let solve ?(budget = 2_000_000) (p : problem) =
   let best = ref (greedy p) in
   let best_w = ref (weight_of p !best) in
   let steps = ref 0 in
+  let cutoffs = ref 0 in
   let optimal = ref true in
   (* candidates: indices into [order] not yet decided, all compatible
      with the current clique *)
@@ -52,10 +53,14 @@ let solve ?(budget = 2_000_000) (p : problem) =
           (* exclude v *)
           go clique w rest (cand_sum -. p.weight.(v))
         end
+        else incr cutoffs
   in
   (try
      let all = Array.to_list order in
      let sum = Array.fold_left ( +. ) 0.0 p.weight in
      go [] 0.0 all sum
    with Out_of_budget -> optimal := false);
+  Apex_telemetry.Counter.add "merging.clique_nodes" !steps;
+  Apex_telemetry.Counter.add "merging.clique_cutoffs" !cutoffs;
+  if not !optimal then Apex_telemetry.Counter.incr "merging.clique_budget_exhausted";
   { members = List.sort compare !best; weight = !best_w; optimal = !optimal }

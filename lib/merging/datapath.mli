@@ -57,6 +57,10 @@ val result_width : node -> Apex_dfg.Op.width
 val sources : t -> dst:int -> port:int -> int list
 (** All static sources feeding a port (>= 2 means an intraconnect mux). *)
 
+val mux_points : t -> ((int * int) * int) list
+(** Fan-in points that need a mux: ((dst, port), n_sources) pairs with
+    at least two distinct sources. *)
+
 val n_word_inputs : t -> int
 val n_bit_inputs : t -> int
 val n_outputs : t -> int

@@ -216,8 +216,15 @@ let reconstruct (a : D.t) (b : D.t) (bcfg : D.config) clique =
   in
   { D.nodes; edges; configs = a.configs @ [ cfg ] }
 
+module Counter = Apex_telemetry.Counter
+module Span = Apex_telemetry.Span
+
+(* fan-in points that need a mux: (dst, port) pairs fed by >= 2 sources *)
+let mux_points (dp : D.t) = List.length (D.mux_points dp)
+
 let merge ?(strategy = Max_weight_clique) ?(clique_budget = 2_000_000)
     (a : D.t) p =
+  Span.with_ "merging" @@ fun () ->
   let b = D.of_pattern p in
   let bcfg = List.hd b.configs in
   let ops =
@@ -268,6 +275,14 @@ let merge ?(strategy = Max_weight_clique) ?(clique_budget = 2_000_000)
             attempt (List.filter (fun i -> i <> lightest) members) (dropped + 1))
   in
   let dp, clique, cycles_repaired = attempt solution.members 0 in
+  Counter.incr "merging.merges";
+  Counter.add "merging.opportunities" n;
+  Counter.add "merging.cycles_repaired" cycles_repaired;
+  Counter.add_lazy "merging.muxes_inserted" (fun () ->
+      max 0 (mux_points dp - mux_points a));
+  Counter.observe "merging.compat_graph_size" (float_of_int n);
+  Counter.observe "merging.clique_weight"
+    (List.fold_left (fun acc o -> acc +. opportunity_weight a b o) 0.0 clique);
   ( dp,
     { n_opportunities = n;
       clique;

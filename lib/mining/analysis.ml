@@ -48,8 +48,10 @@ let usable_embeddings g embeddings =
     embeddings
 
 let analyze ?(config = Miner.default_config) g =
+  Apex_telemetry.Span.with_ "analysis" @@ fun () ->
   let found, stats = Miner.mine config g in
   let ranked =
+    Apex_telemetry.Span.with_ "mis" @@ fun () ->
     List.filter_map
       (fun (f : Miner.found) ->
         let usable = usable_embeddings g f.embeddings in

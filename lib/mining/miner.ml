@@ -52,9 +52,13 @@ let adjacency cfg g =
 
 exception Budget
 
+module Counter = Apex_telemetry.Counter
+module Span = Apex_telemetry.Span
+
 (* ESU enumeration: each connected node set of size in [2, max_size] is
    visited exactly once. *)
 let mine cfg g =
+  Span.with_ "mining" @@ fun () ->
   let adj, ok = adjacency cfg g in
   let n = G.length g in
   let groups : (string, Pattern.t * int list list * int) Hashtbl.t =
@@ -70,6 +74,7 @@ let mine cfg g =
      same shape relative to their sorted node order (the common case for
      repeated stencil structure) share one canonicalization *)
   let canon_cache : (string, Pattern.t) Hashtbl.t = Hashtbl.create 256 in
+  let canon_hits = ref 0 in
   let shape_key sub =
     let sorted = List.sort compare sub in
     let pos = Hashtbl.create 8 in
@@ -118,7 +123,9 @@ let mine cfg g =
       let p =
         let sk = shape_key sub in
         match Hashtbl.find_opt canon_cache sk with
-        | Some p -> p
+        | Some p ->
+            incr canon_hits;
+            p
         | None ->
             let induced, _ = G.induced g sub in
             let induced =
@@ -178,6 +185,7 @@ let mine cfg g =
      done
    with Budget -> truncated := true);
   let capped = ref 0 in
+  let rejected = ref 0 in
   let found =
     Hashtbl.fold
       (fun _ (p, embs, count) acc ->
@@ -185,9 +193,19 @@ let mine cfg g =
         let embs = List.sort_uniq compare embs in
         if count >= cfg.min_support then
           { pattern = p; embeddings = embs; support = count } :: acc
-        else acc)
+        else begin
+          incr rejected;
+          acc
+        end)
       groups []
   in
+  Counter.incr "mining.runs";
+  Counter.add "mining.patterns_grown" (Hashtbl.length groups);
+  Counter.add "mining.embeddings_enumerated" !enumerated;
+  Counter.add "mining.canon_cache_hits" !canon_hits;
+  Counter.add "mining.min_support_rejections" !rejected;
+  Counter.add "mining.capped_patterns" !capped;
+  if !truncated then Counter.incr "mining.budget_truncations";
   let cmp a b =
     match compare b.support a.support with
     | 0 -> (

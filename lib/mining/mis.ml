@@ -76,8 +76,10 @@ let exact_maximum ?(node_limit = 64) g =
   else begin
     let adj = adjacency g in
     let best = ref [] in
+    let visited = ref 0 in
     (* branch and bound on vertices in increasing order *)
     let rec go i chosen size blocked =
+      incr visited;
       if size + (g.n - i) <= List.length !best then ()
       else if i = g.n then begin
         if size > List.length !best then best := chosen
@@ -91,6 +93,7 @@ let exact_maximum ?(node_limit = 64) g =
       end
     in
     go 0 [] 0 [];
+    Apex_telemetry.Counter.add "mining.mis_bb_nodes" !visited;
     Some (List.sort compare !best)
   end
 
@@ -110,4 +113,6 @@ let first_fit embeddings =
     embeddings;
   List.rev !chosen
 
-let mis_size embeddings = List.length (first_fit embeddings)
+let mis_size embeddings =
+  Apex_telemetry.Counter.incr "mining.mis_computed";
+  List.length (first_fit embeddings)

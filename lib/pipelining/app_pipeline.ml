@@ -11,6 +11,7 @@ type plan = {
 }
 
 let balance ?(rf_cutoff = 2) (m : Cover.t) ~pe_latency =
+  Apex_telemetry.Span.with_ "app_pipeline" @@ fun () ->
   let n = Array.length m.instances in
   let ready = Array.make n (-1) in
   (* cycle at which an instance's outputs are available; -2 marks an
@@ -72,6 +73,11 @@ let balance ?(rf_cutoff = 2) (m : Cover.t) ~pe_latency =
         else (regs + chain, rfs, depth))
       (0, 0, 0) edge_regs
   in
+  Apex_telemetry.Counter.incr "pipelining.balances";
+  Apex_telemetry.Counter.add "pipelining.regs_inserted" n_regs;
+  Apex_telemetry.Counter.add "pipelining.reg_files" n_reg_files;
+  Apex_telemetry.Counter.observe "pipelining.depth_cycles"
+    (float_of_int out_latest);
   { pe_latency;
     edge_regs;
     n_regs;

@@ -123,6 +123,7 @@ let min_period (dp : D.t) ~stages =
 let max_stages = 16
 
 let plan ?(target_ps = Tech.clock_period_ps) ?(benefit_threshold = 0.10) dp =
+  Apex_telemetry.Span.with_ "pe_retime" @@ fun () ->
   (* meet the target if any stage count can; otherwise stop growing when
      an extra stage no longer buys a significant period reduction *)
   let rec meet s =
@@ -147,6 +148,9 @@ let plan ?(target_ps = Tech.clock_period_ps) ?(benefit_threshold = 0.10) dp =
         let p1, r1 = min_period dp ~stages:1 in
         greedy 1 (p1, r1)
   in
+  Apex_telemetry.Counter.incr "pipelining.pe_plans";
+  Apex_telemetry.Counter.observe "pipelining.pe_stages" (float_of_int stages);
+  Apex_telemetry.Counter.observe "pipelining.period_ps" period_ps;
   { stages;
     period_ps;
     regs_inserted;

@@ -401,6 +401,7 @@ let pick_branch_var s =
   !v
 
 let solve ?(conflict_budget = max_int) s =
+  Apex_telemetry.Counter.incr "smt.solver_calls";
   if not s.ok then Unsat
   else begin
     cancel_until s 0;

@@ -254,6 +254,8 @@ let structural_candidates dp p ~on_candidate ~max_candidates =
   try place internal with Exit -> ()
 
 let structural ?(width = 8) ?(max_candidates = 2000) dp p =
+  Apex_telemetry.Span.with_ "synth" @@ fun () ->
+  Apex_telemetry.Counter.incr "rules.attempted";
   let code = Pattern.code p in
   let result = ref None in
   let try_cfg cfg =
@@ -272,6 +274,7 @@ let structural ?(width = 8) ?(max_candidates = 2000) dp p =
        provenance;
      structural_candidates dp p ~max_candidates ~on_candidate:try_cfg
    with Found _ -> ());
+  if !result <> None then Apex_telemetry.Counter.incr "rules.synthesized";
   !result
 
 (* --- reference CEGIS over the instruction space --- *)

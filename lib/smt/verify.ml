@@ -104,7 +104,12 @@ let encode_datapath ctx dp (cfg : D.config) (port_bvs : (int * Bv.bv) list) =
   in
   List.sort compare cfg.D.outputs |> List.map (fun (_, node) -> value node)
 
-let verify_config ?(width = 8) ?(conflict_budget = 200_000)
+let count_verdict = function
+  | Proved _ -> Apex_telemetry.Counter.incr "smt.proved"
+  | Tested -> Apex_telemetry.Counter.incr "smt.tested"
+  | Refuted _ -> Apex_telemetry.Counter.incr "smt.refuted"
+
+let verify_config_uncounted ?(width = 8) ?(conflict_budget = 200_000)
     ?(random_tests = 200) dp (cfg : D.config) p =
   let pg = Pattern.graph p in
   let n_pattern_inputs = List.length (G.io_inputs pg) in
@@ -181,3 +186,12 @@ let verify_config ?(width = 8) ?(conflict_budget = 200_000)
             in
             refine conflict_budget
           end)
+
+let verify_config ?width ?conflict_budget ?random_tests dp cfg p =
+  Apex_telemetry.Span.with_ "verify" @@ fun () ->
+  Apex_telemetry.Counter.incr "smt.verifications";
+  let verdict =
+    verify_config_uncounted ?width ?conflict_budget ?random_tests dp cfg p
+  in
+  count_verdict verdict;
+  verdict

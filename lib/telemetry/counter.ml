@@ -1,0 +1,16 @@
+(* Named monotonic counters, gauges, and min/max/mean distributions.
+   All no-ops while the registry is disabled. *)
+
+let incr name = Registry.counter_add name 1
+
+let add name n = Registry.counter_add name n
+
+let get name = Registry.counter_get name
+
+let set_gauge name v = Registry.gauge_set name v
+
+let observe name v = Registry.observe name v
+
+(* For instrumentation whose *computation* of the value is itself
+   costly: the thunk only runs while telemetry is enabled. *)
+let add_lazy name f = if Registry.is_enabled () then Registry.counter_add name (f ())

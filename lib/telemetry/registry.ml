@@ -1,0 +1,157 @@
+(* Global in-memory telemetry registry.
+
+   Everything is gated on [enabled]: when the registry is disabled (the
+   default) every instrumentation entry point is a branch on one bool
+   and returns immediately — no clock reads, no hashtable traffic, no
+   span allocation.  [spans_allocated] exists so the test suite can
+   assert that fast path.
+
+   Spans aggregate by (parent path, name): entering "merging" two
+   hundred times under the same parent produces one node with count 200
+   and the summed wall-clock time, which keeps both memory and the
+   report bounded no matter how hot the instrumented loop is. *)
+
+type dist = {
+  mutable n : int;
+  mutable sum : float;
+  mutable min_v : float;
+  mutable max_v : float;
+}
+
+type span = {
+  name : string;
+  mutable count : int;
+  mutable total_s : float;
+  mutable rev_order : string list; (* child names, most recent first *)
+  children : (string, span) Hashtbl.t;
+}
+
+let enabled = ref false
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let is_enabled () = !enabled
+
+let spans_allocated = ref 0
+
+let spans_created () = !spans_allocated
+
+let new_span ~counted name =
+  if counted then incr spans_allocated;
+  { name; count = 0; total_s = 0.0; rev_order = []; children = Hashtbl.create 4 }
+
+let new_root () =
+  let r = new_span ~counted:false "root" in
+  r.count <- 1;
+  r
+
+let root = ref (new_root ())
+
+let stack : span list ref = ref []
+
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  root := new_root ();
+  stack := [];
+  spans_allocated := 0;
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset dists
+
+(* --- spans (used via Span.with_) --- *)
+
+let current () = match !stack with sp :: _ -> sp | [] -> !root
+
+let enter name =
+  let parent = current () in
+  let sp =
+    match Hashtbl.find_opt parent.children name with
+    | Some sp -> sp
+    | None ->
+        let sp = new_span ~counted:true name in
+        Hashtbl.replace parent.children name sp;
+        parent.rev_order <- name :: parent.rev_order;
+        sp
+  in
+  sp.count <- sp.count + 1;
+  stack := sp :: !stack;
+  sp
+
+let leave sp dt =
+  sp.total_s <- sp.total_s +. dt;
+  match !stack with
+  | top :: rest when top == sp -> stack := rest
+  | _ ->
+      (* a reset happened inside the span: drop whatever is stale *)
+      stack := List.filter (fun s -> not (s == sp)) !stack
+
+(* --- counters, gauges, distributions --- *)
+
+let counter_add name n =
+  if !enabled then
+    match Hashtbl.find_opt counters name with
+    | Some r -> r := !r + n
+    | None -> Hashtbl.replace counters name (ref n)
+
+let counter_get name =
+  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+
+let gauge_set name v = if !enabled then Hashtbl.replace gauges name v
+
+let gauge_get name = Hashtbl.find_opt gauges name
+
+let observe name v =
+  if !enabled then
+    match Hashtbl.find_opt dists name with
+    | Some d ->
+        d.n <- d.n + 1;
+        d.sum <- d.sum +. v;
+        if v < d.min_v then d.min_v <- v;
+        if v > d.max_v then d.max_v <- v
+    | None -> Hashtbl.replace dists name { n = 1; sum = v; min_v = v; max_v = v }
+
+let dist_get name = Hashtbl.find_opt dists name
+
+(* --- snapshots --- *)
+
+type snapshot = {
+  spans : span; (* a deep copy rooted at "root" *)
+  counters : (string * int) list; (* sorted by name *)
+  gauges : (string * float) list;
+  dists : (string * dist) list;
+}
+
+let children_in_order sp =
+  List.rev_map (fun name -> Hashtbl.find sp.children name) sp.rev_order
+
+let rec copy_span sp =
+  let children = Hashtbl.create (Hashtbl.length sp.children) in
+  Hashtbl.iter (fun name c -> Hashtbl.replace children name (copy_span c))
+    sp.children;
+  { name = sp.name;
+    count = sp.count;
+    total_s = sp.total_s;
+    rev_order = sp.rev_order;
+    children }
+
+let sorted_bindings tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  let spans = copy_span !root in
+  (* the root has no own timing; report it as the sum of its children *)
+  spans.total_s <-
+    List.fold_left (fun acc c -> acc +. c.total_s) 0.0
+      (children_in_order spans);
+  { spans;
+    counters = sorted_bindings counters (fun r -> !r);
+    gauges = sorted_bindings gauges Fun.id;
+    dists = sorted_bindings dists (fun d -> { d with n = d.n }) }

@@ -1,0 +1,117 @@
+(* Exporters for registry snapshots: a human-readable span tree and
+   counter table via Format, and a stable JSON report (schema
+   "apex.telemetry/1") for the bench trajectory and `apex profile`. *)
+
+let schema_version = "apex.telemetry/1"
+
+(* --- human-readable --- *)
+
+let ms s = s *. 1e3
+
+let pp_span_tree ppf (snap : Registry.snapshot) =
+  let rec pp_node indent parent_total (sp : Registry.span) =
+    let pct =
+      if parent_total > 1e-12 then 100.0 *. sp.total_s /. parent_total
+      else 0.0
+    in
+    Format.fprintf ppf "%s%-*s %9.2f ms" indent
+      (max 1 (36 - String.length indent))
+      (if sp.count > 1 then Printf.sprintf "%s ×%d" sp.name sp.count
+       else sp.name)
+      (ms sp.total_s);
+    if indent <> "" then Format.fprintf ppf "  %5.1f%%" pct;
+    Format.fprintf ppf "@.";
+    List.iter (pp_node (indent ^ "  ") sp.total_s)
+      (Registry.children_in_order sp);
+  in
+  Format.fprintf ppf "span tree (wall clock):@.";
+  pp_node "" snap.spans.total_s snap.spans
+
+let pp_counter_table ppf (snap : Registry.snapshot) =
+  if snap.counters <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-38s %12d@." name v)
+      snap.counters
+  end;
+  if snap.gauges <> [] then begin
+    Format.fprintf ppf "gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-38s %12.2f@." name v)
+      snap.gauges
+  end;
+  if snap.dists <> [] then begin
+    Format.fprintf ppf "distributions:%39s%10s%10s%10s@." "n" "min" "mean"
+      "max";
+    List.iter
+      (fun (name, (d : Registry.dist)) ->
+        Format.fprintf ppf "  %-38s %11d%10.2f%10.2f%10.2f@." name d.n d.min_v
+          (d.sum /. float_of_int (max 1 d.n))
+          d.max_v)
+      snap.dists
+  end
+
+let pp ppf snap =
+  Format.fprintf ppf "%a@.%a" pp_span_tree snap pp_counter_table snap
+
+(* --- JSON --- *)
+
+let rec span_json (sp : Registry.span) =
+  Json.Obj
+    [ ("name", Json.String sp.name);
+      ("count", Json.Int sp.count);
+      ("total_ms", Json.Float (ms sp.total_s));
+      ("children",
+       Json.List (List.map span_json (Registry.children_in_order sp))) ]
+
+let to_json (snap : Registry.snapshot) =
+  Json.Obj
+    [ ("schema", Json.String schema_version);
+      ("spans", span_json snap.spans);
+      ("counters",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
+      ("gauges",
+       Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges));
+      ("distributions",
+       Json.Obj
+         (List.map
+            (fun (k, (d : Registry.dist)) ->
+              ( k,
+                Json.Obj
+                  [ ("count", Json.Int d.n);
+                    ("sum", Json.Float d.sum);
+                    ("min", Json.Float d.min_v);
+                    ("max", Json.Float d.max_v);
+                    ("mean", Json.Float (d.sum /. float_of_int (max 1 d.n)))
+                  ] ))
+            snap.dists)) ]
+
+let write_file path snap =
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc (Json.to_string (to_json snap)))
+    ~finally:(fun () -> close_out oc)
+
+(* Path of the JSON report requested by the environment, if any. *)
+let env_trace_path () = Sys.getenv_opt "APEX_TRACE"
+
+(* A bench report bundles one run report per benchmark case:
+   {"schema": ..., "cases": [{"name": ..., "report": <run report>}]} *)
+let bench_schema_version = "apex.telemetry.bench/1"
+
+let bench_json cases =
+  Json.Obj
+    [ ("schema", Json.String bench_schema_version);
+      ("cases",
+       Json.List
+         (List.map
+            (fun (name, snap) ->
+              Json.Obj
+                [ ("name", Json.String name); ("report", to_json snap) ])
+            cases)) ]
+
+let write_bench_file path cases =
+  let oc = open_out path in
+  Fun.protect
+    (fun () -> output_string oc (Json.to_string (bench_json cases)))
+    ~finally:(fun () -> close_out oc)

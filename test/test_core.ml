@@ -42,12 +42,35 @@ let test_interesting_patterns_filter () =
     (fun p -> Alcotest.(check bool) "size >= 2" true (Pattern.size p >= 2))
     ps
 
+let variant_error_message spec =
+  match Dse.variant_for spec with
+  | _ -> Alcotest.failf "variant_for %S did not raise" spec
+  | exception Invalid_argument msg -> msg
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  go 0
+
+let check_mentions spec needles =
+  let msg = variant_error_message spec in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" msg needle)
+        true (contains msg needle))
+    needles
+
 let test_variant_for_unknown () =
-  Alcotest.(check bool) "raises" true
-    (try
-       ignore (Dse.variant_for "nonsense");
-       false
-     with Invalid_argument _ -> true)
+  (* the error names the offending string and lists the accepted forms *)
+  check_mentions "nonsense" [ "\"nonsense\""; "accepted forms"; "pek:<app>:<k>" ]
+
+let test_variant_for_unknown_app () =
+  check_mentions "spec:nosuchapp" [ "unknown application"; "nosuchapp" ]
+
+let test_variant_for_bad_subgraph_count () =
+  check_mentions "pek:gaussian:abc" [ "malformed subgraph count"; "abc" ];
+  check_mentions "pek:gaussian:-1" [ "negative subgraph count"; "-1" ]
 
 (* --- metrics: the specialization story --- *)
 
@@ -139,7 +162,10 @@ let () =
           Alcotest.test_case "pe1 smaller" `Quick test_pe1_smaller_than_base;
           Alcotest.test_case "specialized patterns" `Quick test_specialized_variant_patterns;
           Alcotest.test_case "interesting filter" `Quick test_interesting_patterns_filter;
-          Alcotest.test_case "unknown variant" `Quick test_variant_for_unknown ] );
+          Alcotest.test_case "unknown variant" `Quick test_variant_for_unknown;
+          Alcotest.test_case "unknown application" `Quick test_variant_for_unknown_app;
+          Alcotest.test_case "bad subgraph count" `Quick
+            test_variant_for_bad_subgraph_count ] );
       ( "metrics",
         [ Alcotest.test_case "specialization shrinks area" `Quick
             test_specialization_monotone_area;

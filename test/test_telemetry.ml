@@ -1,0 +1,221 @@
+(* Tests for the telemetry layer: spans, counters, snapshots and the
+   JSON report format. *)
+
+module Registry = Apex_telemetry.Registry
+module Span = Apex_telemetry.Span
+module Counter = Apex_telemetry.Counter
+module Report = Apex_telemetry.Report
+module Json = Apex_telemetry.Json
+
+let check = Alcotest.check
+
+(* every test owns the global registry: start clean, leave it off *)
+let with_registry f () =
+  Registry.enable ();
+  Registry.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Registry.disable ();
+      Registry.reset ())
+
+let child_names sp =
+  List.map
+    (fun (c : Registry.span) -> c.name)
+    (Registry.children_in_order sp)
+
+let find_child sp name =
+  List.find
+    (fun (c : Registry.span) -> c.name = name)
+    (Registry.children_in_order sp)
+
+(* --- spans --- *)
+
+let test_span_nesting () =
+  Span.with_ "outer" (fun () ->
+      Span.with_ "first" ignore;
+      Span.with_ "second" ignore);
+  Span.with_ "outer" (fun () -> Span.with_ "first" ignore);
+  let snap = Registry.snapshot () in
+  check Alcotest.(list string) "one root child" [ "outer" ]
+    (child_names snap.spans);
+  let outer = find_child snap.spans "outer" in
+  check Alcotest.int "outer aggregated" 2 outer.count;
+  (* children keep first-seen order, and same-name spans aggregate *)
+  check Alcotest.(list string) "child order" [ "first"; "second" ]
+    (child_names outer);
+  check Alcotest.int "first aggregated" 2 (find_child outer "first").count;
+  check Alcotest.int "second once" 1 (find_child outer "second").count
+
+let test_span_time_accumulates () =
+  Span.with_ "slow" (fun () -> ignore (Unix.sleepf 0.01));
+  let snap = Registry.snapshot () in
+  let slow = find_child snap.spans "slow" in
+  check Alcotest.bool "positive duration" true (slow.total_s > 0.0);
+  check Alcotest.bool "root covers child" true
+    (snap.spans.total_s >= slow.total_s)
+
+let test_span_survives_exception () =
+  (try Span.with_ "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Span.with_ "after" ignore;
+  let snap = Registry.snapshot () in
+  (* the failed span is recorded and the stack is balanced: "after" is a
+     sibling of "boom", not a child *)
+  check Alcotest.(list string) "siblings" [ "boom"; "after" ]
+    (child_names snap.spans)
+
+(* --- counters, gauges, distributions --- *)
+
+let test_counter_arithmetic () =
+  Counter.incr "c";
+  Counter.add "c" 41;
+  check Alcotest.int "sum" 42 (Counter.get "c");
+  check Alcotest.int "missing counter is 0" 0 (Counter.get "absent");
+  Counter.set_gauge "g" 2.5;
+  check Alcotest.(option (float 1e-9)) "gauge" (Some 2.5)
+    (Registry.gauge_get "g")
+
+let test_distribution_stats () =
+  List.iter (Counter.observe "d") [ 4.0; 1.0; 7.0 ];
+  match Registry.dist_get "d" with
+  | None -> Alcotest.fail "distribution missing"
+  | Some d ->
+      check Alcotest.int "n" 3 d.Registry.n;
+      check Alcotest.(float 1e-9) "min" 1.0 d.min_v;
+      check Alcotest.(float 1e-9) "max" 7.0 d.max_v;
+      check Alcotest.(float 1e-9) "sum" 12.0 d.sum
+
+let test_snapshot_isolated_from_reset () =
+  Counter.add "kept" 7;
+  Span.with_ "kept_span" ignore;
+  let snap = Registry.snapshot () in
+  Registry.reset ();
+  Counter.add "other" 1;
+  (* the snapshot is a deep copy: unaffected by the reset and by new
+     activity *)
+  check Alcotest.(list (pair string int)) "counters kept" [ ("kept", 7) ]
+    snap.counters;
+  check Alcotest.(list string) "spans kept" [ "kept_span" ]
+    (child_names snap.spans);
+  let snap2 = Registry.snapshot () in
+  check Alcotest.(list (pair string int)) "new registry" [ ("other", 1) ]
+    snap2.counters
+
+(* --- disabled fast path (the bench guard) --- *)
+
+let test_disabled_is_inert () =
+  Registry.disable ();
+  Registry.reset ();
+  Counter.incr "c";
+  Counter.observe "d" 1.0;
+  Span.with_ "s" ignore;
+  check Alcotest.int "no counter" 0 (Counter.get "c");
+  check Alcotest.bool "no dist" true (Registry.dist_get "d" = None);
+  check Alcotest.int "no spans allocated" 0 (Registry.spans_created ())
+
+let test_disabled_allocates_no_spans_in_mining () =
+  Registry.disable ();
+  Registry.reset ();
+  (* a real instrumented workload: mining a bundled application must not
+     allocate a single span while telemetry is off *)
+  let app = Apex_halide.Apps.by_name "gaussian" in
+  ignore
+    (Apex_mining.Miner.mine
+       { Apex_mining.Miner.default_config with max_size = 3 }
+       app.Apex_halide.Apps.graph);
+  check Alcotest.int "zero spans allocated" 0 (Registry.spans_created ());
+  check Alcotest.int "zero counters" 0 (Counter.get "mining.patterns_grown")
+
+(* --- JSON encoder / parser --- *)
+
+let roundtrip v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' -> v'
+  | Error m -> Alcotest.failf "roundtrip parse failed: %s" m
+
+let test_json_roundtrip_values () =
+  let v =
+    Json.Obj
+      [ ("s", Json.String "a \"quoted\"\nline");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("nan", Json.Float Float.nan);
+        ("l", Json.List [ Json.Bool true; Json.Null; Json.Int 0 ]) ]
+  in
+  match roundtrip v with
+  | Json.Obj fields ->
+      check Alcotest.bool "string" true
+        (List.assoc "s" fields = Json.String "a \"quoted\"\nline");
+      check Alcotest.bool "int" true (List.assoc "i" fields = Json.Int (-42));
+      check Alcotest.bool "float" true
+        (List.assoc "f" fields = Json.Float 1.5);
+      (* non-finite floats are emitted as null to stay valid JSON *)
+      check Alcotest.bool "nan -> null" true
+        (List.assoc "nan" fields = Json.Null);
+      check Alcotest.bool "list" true
+        (List.assoc "l" fields
+        = Json.List [ Json.Bool true; Json.Null; Json.Int 0 ])
+  | _ -> Alcotest.fail "roundtrip did not yield an object"
+
+let test_json_parser_rejects_garbage () =
+  let bad s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  check Alcotest.bool "bare word" true (bad "junk");
+  check Alcotest.bool "unterminated" true (bad "{\"a\": 1");
+  check Alcotest.bool "trailing" true (bad "{} extra")
+
+let test_report_json_roundtrip () =
+  Counter.add "mining.patterns_grown" 11;
+  Counter.set_gauge "g" 0.5;
+  Counter.observe "d" 3.0;
+  Span.with_ "phase" (fun () -> Span.with_ "sub" ignore);
+  let json = Report.to_json (Registry.snapshot ()) in
+  let parsed = roundtrip json in
+  check
+    Alcotest.(option string)
+    "schema" (Some Report.schema_version)
+    (Option.bind (Json.member "schema" parsed) Json.to_string_opt);
+  let counter name =
+    Option.bind (Json.member "counters" parsed) (Json.member name)
+    |> Fun.flip Option.bind Json.to_int_opt
+  in
+  check
+    Alcotest.(option int)
+    "counter survives" (Some 11)
+    (counter "mining.patterns_grown");
+  let span_name =
+    Option.bind (Json.member "spans" parsed) (Json.member "children")
+    |> Fun.flip Option.bind Json.to_list_opt
+    |> Fun.flip Option.bind (function c :: _ -> Some c | [] -> None)
+    |> Fun.flip Option.bind (Json.member "name")
+    |> Fun.flip Option.bind Json.to_string_opt
+  in
+  check Alcotest.(option string) "span tree survives" (Some "phase") span_name
+
+let () =
+  Alcotest.run "telemetry"
+    [ ( "spans",
+        [ Alcotest.test_case "nesting and aggregation" `Quick
+            (with_registry test_span_nesting);
+          Alcotest.test_case "time accumulates" `Quick
+            (with_registry test_span_time_accumulates);
+          Alcotest.test_case "exception safety" `Quick
+            (with_registry test_span_survives_exception) ] );
+      ( "counters",
+        [ Alcotest.test_case "arithmetic" `Quick
+            (with_registry test_counter_arithmetic);
+          Alcotest.test_case "distribution stats" `Quick
+            (with_registry test_distribution_stats);
+          Alcotest.test_case "snapshot isolation" `Quick
+            (with_registry test_snapshot_isolated_from_reset) ] );
+      ( "disabled",
+        [ Alcotest.test_case "inert registry" `Quick
+            (with_registry test_disabled_is_inert);
+          Alcotest.test_case "no span allocation in mining" `Quick
+            (with_registry test_disabled_allocates_no_spans_in_mining) ] );
+      ( "json",
+        [ Alcotest.test_case "value roundtrip" `Quick test_json_roundtrip_values;
+          Alcotest.test_case "parser rejects garbage" `Quick
+            test_json_parser_rejects_garbage;
+          Alcotest.test_case "report roundtrip" `Quick
+            (with_registry test_report_json_roundtrip) ] ) ]
