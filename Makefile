@@ -13,18 +13,22 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Build, run the full test suite, then smoke-test the instrumented flow:
-# a traced profile of the camera pipeline must produce a well-formed,
-# non-empty JSON report with the key search counters populated.
+# Build, run the full test suite, lint every built-in application with
+# warnings fatal, then smoke-test the instrumented flow: a traced,
+# --check-verified profile of the camera pipeline must produce a
+# well-formed JSON report with the key search counters populated —
+# including proof that the phase-boundary lint checkers actually ran.
 ci: build test
-	dune exec bin/apex_cli.exe -- profile camera --trace=$(CI_TRACE)
+	dune exec bin/apex_cli.exe -- lint --all --werror
+	dune exec bin/apex_cli.exe -- profile camera --check --trace=$(CI_TRACE)
 	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
 	  --require mining.patterns_grown \
 	  --require mining.embeddings_enumerated \
 	  --require merging.clique_nodes \
 	  --require rules.synthesized \
 	  --require mapper.cover_attempts \
-	  --require dse.memo_hits
+	  --require dse.memo_hits \
+	  --require lint.checks_run
 
 clean:
 	dune clean

@@ -72,6 +72,20 @@ let with_trace trace f =
     Fun.protect f ~finally:(fun () -> emit_trace ~print:(trace <> None) trace)
   end
 
+(* --- phase-boundary verification: a --check flag shared by the flow
+   subcommands.  LLVM -verify-each style: every phase hands its output
+   IR to the lint engine; errors abort the run. *)
+
+let check_arg =
+  let doc =
+    "Verify every intermediate artifact at phase boundaries (after mining, \
+     merging, rule synthesis and pipelining) with the lint engine; abort on \
+     invariant violations."
+  in
+  Arg.(value & flag & info [ "check" ] ~doc)
+
+let set_check check = if check then Apex.Check.enable ()
+
 (* --- apps --- *)
 
 let apps_cmd =
@@ -116,8 +130,9 @@ let analyze_cmd =
 (* --- pe (show a variant) --- *)
 
 let pe_cmd =
-  let run trace variant verilog dot =
+  let run trace check variant verilog dot =
     with_trace trace @@ fun () ->
+    set_check check;
     let v = Apex.Dse.variant_for variant in
     Format.printf "variant %s: area %.1f um^2, %d FUs, %d configs, %d rules@."
       v.name (D.area v.dp)
@@ -151,13 +166,14 @@ let pe_cmd =
   in
   Cmd.v
     (Cmd.info "pe" ~doc:"Generate and describe a PE variant.")
-    Term.(const run $ trace_arg $ variant_arg $ verilog $ dot)
+    Term.(const run $ trace_arg $ check_arg $ variant_arg $ verilog $ dot)
 
 (* --- map --- *)
 
 let map_cmd =
-  let run trace app variant =
+  let run trace check app variant =
     with_trace trace @@ fun () ->
+    set_check check;
     let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match Apex.Metrics.post_mapping v a with
@@ -172,13 +188,14 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map an application onto a PE variant (post-mapping).")
-    Term.(const run $ trace_arg $ app_arg $ variant_arg)
+    Term.(const run $ trace_arg $ check_arg $ app_arg $ variant_arg)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run trace app variant level effort =
+  let run trace check app variant level effort =
     with_trace trace @@ fun () ->
+    set_check check;
     let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match level with
@@ -213,7 +230,9 @@ let evaluate_cmd =
   in
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate an application on a PE variant.")
-    Term.(const run $ trace_arg $ app_arg $ variant_arg $ level $ effort)
+    Term.(
+      const run $ trace_arg $ check_arg $ app_arg $ variant_arg $ level
+      $ effort)
 
 (* --- verify (rewrite rules) --- *)
 
@@ -240,8 +259,9 @@ let verify_cmd =
 (* --- compile: the whole back end with bitstream and simulation --- *)
 
 let compile_cmd =
-  let run trace app variant sim_frames emit_fabric =
+  let run trace check app variant sim_frames emit_fabric =
     with_trace trace @@ fun () ->
+    set_check check;
     let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     let spec = Apex_peak.Spec.of_datapath ~name:v.name v.dp in
@@ -295,12 +315,15 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile"
        ~doc:"Map, place, route and generate the bitstream for an application.")
-    Term.(const run $ trace_arg $ app_arg $ variant_arg $ sim $ emit_fabric)
+    Term.(
+      const run $ trace_arg $ check_arg $ app_arg $ variant_arg $ sim
+      $ emit_fabric)
 
 (* --- profile: the full DSE flow with telemetry always on --- *)
 
 let profile_cmd =
-  let run trace app variant =
+  let run trace check app variant =
+    set_check check;
     let a = app_by_name app in
     let vspec =
       match variant with Some v -> v | None -> "spec:" ^ a.Apps.name
@@ -360,7 +383,52 @@ let profile_cmd =
           application with telemetry enabled, then print the span tree and \
           counter tables (and write the JSON report with --trace=FILE or \
           APEX_TRACE).")
-    Term.(const run $ trace_arg $ app_arg $ variant)
+    Term.(const run $ trace_arg $ check_arg $ app_arg $ variant)
+
+(* --- lint: run the checker registry over the flow's artifacts --- *)
+
+let lint_cmd =
+  let run trace apps all json werror =
+    with_trace trace @@ fun () ->
+    let apps =
+      if all then Apex.Lint_run.all_apps ()
+      else if apps = [] then
+        invalid_arg "lint: name at least one application, or pass --all"
+      else List.map app_by_name apps
+    in
+    let report = Apex.Lint_run.run apps in
+    if json then
+      print_endline (Json.to_string (Apex_lint.Engine.report_to_json report))
+    else Format.printf "%a" Apex_lint.Engine.pp_report report;
+    exit (Apex_lint.Engine.exit_code ~werror report)
+  in
+  let apps =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"APP" ~doc:"Applications to lint (see `apex apps`).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Lint all nine built-in applications.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as machine-readable JSON.")
+  in
+  let werror =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Exit non-zero on warnings, not just errors.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check every artifact the flow produces for an application — DFG, \
+          mined patterns, merged datapath, rewrite rules, pipeline plans — \
+          against the APX invariant catalog (see DESIGN.md).")
+    Term.(const run $ trace_arg $ apps $ all $ json $ werror)
 
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 
@@ -458,7 +526,7 @@ let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd;
-      compile_cmd; profile_cmd; trace_check_cmd ]
+      compile_cmd; profile_cmd; lint_cmd; trace_check_cmd ]
 
 let () =
   (* user errors (bad variant spec, unmappable app) deserve a clean

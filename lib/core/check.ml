@@ -1,0 +1,32 @@
+(* Opt-in phase-boundary verification (LLVM -verify-each style).
+
+   When enabled (the CLI's --check flag), the DSE flow hands its
+   intermediate artifacts to the lint engine at every phase boundary —
+   after mining, after merging, after rule synthesis and after
+   pipelining.  Violations print to stderr; errors abort the phase with
+   [Invalid_argument], because continuing with a corrupt IR only moves
+   the failure somewhere harder to diagnose. *)
+
+module Engine = Apex_lint.Engine
+
+let enabled = ref false
+
+let enable () = enabled := true
+
+let disable () = enabled := false
+
+let verify phase artifacts =
+  if !enabled then begin
+    let report = Engine.run artifacts in
+    if report.Engine.findings <> [] then
+      Format.eprintf "@[<v>check(%s):@,%a@]@?" phase Engine.pp_report report;
+    let errors = Engine.errors report in
+    if errors > 0 then
+      invalid_arg
+        (Printf.sprintf
+           "Check.%s: %d invariant violation%s (codes above); the %s phase \
+            produced a corrupt artifact"
+           phase errors
+           (if errors = 1 then "" else "s")
+           phase)
+  end

@@ -1,0 +1,17 @@
+(** Opt-in phase-boundary verification (LLVM's [-verify-each] style).
+
+    Disabled by default and free when disabled.  When enabled (the
+    CLI's [--check] flag), the flow lints its intermediate artifacts at
+    every phase boundary — after mining, merging, rule synthesis and
+    pipelining.  Findings print to stderr; error-severity findings
+    abort with [Invalid_argument] naming the phase. *)
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : bool ref
+
+val verify : string -> Apex_lint.Engine.artifact list -> unit
+(** [verify phase artifacts] is a no-op unless enabled.
+    @raise Invalid_argument when any checker reports an error. *)

@@ -101,10 +101,7 @@ let pe_ip3 () =
           (fun dp p -> fst (Apex_merging.Merge.merge dp p))
           seeded patterns
       in
-      { name = "PE IP3";
-        dp;
-        patterns;
-        rules = Apex_mapper.Rules.rule_set dp ~patterns })
+      Variants.make "PE IP3" dp patterns)
 
 let pe_ml () =
   memo "ml" (fun () -> Variants.domain ~name:"PE ML" ~per_app:2 (ml_apps ()))

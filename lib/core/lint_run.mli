@@ -1,0 +1,17 @@
+(** Driver for [apex lint]: collects every artifact the flow produces
+    for an application (DFG, mined patterns, merged pek:2 datapath,
+    rule set, pipeline plans) plus the baseline PE's artifacts, and
+    runs the full checker registry over them. *)
+
+val n_subgraphs : int
+(** Subgraphs merged into the per-application PE that gets linted. *)
+
+val artifacts_for : Apex_halide.Apps.t -> Apex_lint.Engine.artifact list
+
+val base_artifacts : unit -> Apex_lint.Engine.artifact list
+
+val all_apps : unit -> Apex_halide.Apps.t list
+(** The nine built-in applications ([evaluated] plus [unseen]). *)
+
+val run : Apex_halide.Apps.t list -> Apex_lint.Engine.report
+(** Lint the baseline artifacts plus [artifacts_for] each app. *)

@@ -143,6 +143,12 @@ let post_pipelining ?(effort = 1) ?(rf_cutoff = 2) (v : Variants.t)
   let app_plan =
     App_pipeline.balance ~rf_cutoff mapped ~pe_latency:pe_plan.stages
   in
+  Check.verify "pipelining"
+    [ Apex_lint.Engine.Pe_plan { label = v.name; dp = v.dp; plan = pe_plan };
+      Apex_lint.Engine.App_plan
+        { label = Printf.sprintf "%s:%s" v.name app.name;
+          cover = mapped;
+          plan = app_plan } ];
   (* pre-pipelining, the application is one combinational wave: the
      clock must span the longest PE chain of the mapped graph (this is
      what makes Fig. 16's post-pipelining gains large) *)

@@ -6,6 +6,7 @@ module D = Apex_merging.Datapath
 module Library = Apex_peak.Library
 module Rules = Apex_mapper.Rules
 module Apps = Apex_halide.Apps
+module Lint = Apex_lint.Engine
 
 type t = {
   name : string;
@@ -32,6 +33,15 @@ let analysis_of ?(config = default_mining) (app : Apps.t) =
   | None ->
       Apex_telemetry.Counter.incr "dse.analysis_cache_misses";
       let ranked, _ = Analysis.analyze ~config app.graph in
+      Check.verify "mining"
+        (Lint.Dfg { label = app.name; graph = app.graph }
+        :: List.map
+             (fun (r : Analysis.ranked) ->
+               Lint.Dfg
+                 { label =
+                     Printf.sprintf "%s/%s" app.name (Pattern.code r.pattern);
+                   graph = Pattern.graph r.pattern })
+             ranked);
       Hashtbl.replace analysis_cache key ranked;
       ranked
 
@@ -44,7 +54,10 @@ let interesting_patterns ?(min_mis = 4) ranked =
     ranked
 
 let make name dp patterns =
-  { name; dp; patterns; rules = Rules.rule_set dp ~patterns }
+  Check.verify "merging" [ Lint.Datapath { label = name; dp; patterns } ];
+  let rules = Rules.rule_set dp ~patterns in
+  Check.verify "synthesis" [ Lint.Rule_set { label = name; dp; rules } ];
+  { name; dp; patterns; rules }
 
 let baseline () = make "PE Base" (Library.baseline ()) []
 

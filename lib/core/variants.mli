@@ -12,6 +12,11 @@ type t = {
   rules : Apex_mapper.Rules.t list;
 }
 
+val make : string -> Apex_merging.Datapath.t -> Apex_mining.Pattern.t list -> t
+(** Bundle a datapath with the patterns merged into it: synthesizes the
+    rewrite-rule set and, when {!Check.enable}d, lint-verifies the
+    merged datapath and the rule set at the phase boundary. *)
+
 val baseline : unit -> t
 (** "PE Base": the general-purpose comparison PE (Fig. 1). *)
 

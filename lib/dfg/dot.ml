@@ -1,3 +1,20 @@
+(* Graphviz export.  The output is deterministic — nodes in id order,
+   edges sorted by (src, dst, port) — so goldens and diffs are stable
+   across runs, and labels are escaped so arbitrary stream names cannot
+   break the DOT syntax. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let to_string ?(name = "dfg") ?(highlight = []) g =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
@@ -14,16 +31,21 @@ let to_string ?(name = "dfg") ?(highlight = []) g =
       in
       Buffer.add_string buf
         (Printf.sprintf "  n%d [label=\"%s\", shape=%s%s];\n" n.id
-           (Op.mnemonic n.op) shape style))
+           (escape (Op.mnemonic n.op))
+           shape style))
     (Graph.nodes g);
-  Array.iter
-    (fun (n : Graph.node) ->
-      Array.iteri
-        (fun port a ->
-          Buffer.add_string buf
-            (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" a n.id port))
-        n.args)
-    (Graph.nodes g);
+  let edges =
+    Array.fold_left
+      (fun acc (n : Graph.node) ->
+        Array.to_list (Array.mapi (fun port a -> (a, n.id, port)) n.args) @ acc)
+      [] (Graph.nodes g)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (src, dst, port) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [label=\"%d\"];\n" src dst port))
+    edges;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
 

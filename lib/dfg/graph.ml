@@ -38,6 +38,10 @@ let io_outputs g =
 let count g pred =
   Array.fold_left (fun acc n -> if pred n.op then acc + 1 else acc) 0 g.nodes
 
+(* testing escape hatch: the lint suite builds deliberately corrupt
+   graphs through this; everything else goes through Builder *)
+let of_nodes_unchecked nodes = { nodes = Array.copy nodes }
+
 let validate g =
   let exception Bad of string in
   try

@@ -41,6 +41,12 @@ val count : t -> (Op.t -> bool) -> int
 val validate : t -> (unit, string) result
 (** Check arity, port widths and topological ordering of every node. *)
 
+val of_nodes_unchecked : node array -> t
+(** Wrap a raw node array with NO validation — the result may violate
+    every invariant {!validate} checks.  Exists so the lint test suite
+    can build deliberately corrupt graphs; flow code must use
+    {!Builder}. *)
+
 (** Mutable graph construction. *)
 module Builder : sig
   type graph := t

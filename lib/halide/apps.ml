@@ -300,15 +300,16 @@ let stereo () =
   let scores = List.init disparities sad in
   (* argmin via a compare/select chain *)
   let indexed = List.mapi (fun i s -> (i, s)) scores in
-  let best_score, best_idx =
-    List.fold_left
-      (fun (bs, bi) (i, s) ->
+  (* the running best score is only compared against the *next*
+     candidate, so the last step selects the index alone *)
+  let rec argmin bs bi = function
+    | [] -> bi
+    | (i, s) :: rest ->
         let lt = ult' c s bs in
-        (select c lt s bs, select c lt (const c i) bi))
-      (List.hd scores, const c 0)
-      (List.tl indexed)
+        let bi = select c lt (const c i) bi in
+        if rest = [] then bi else argmin (select c lt s bs) bi rest
   in
-  ignore best_score;
+  let best_idx = argmin (List.hd scores) (const c 0) (List.tl indexed) in
   Dsl.output c "disparity" best_idx;
   { name = "stereo";
     domain = Image_processing;

@@ -1,0 +1,115 @@
+(* DFG well-formedness: port arity and ordering against Op signatures,
+   16-bit/1-bit width consistency, topological order (hence acyclicity),
+   dangling inputs, dead compute nodes and duplicate I/O names.
+
+   The checker must survive arbitrarily corrupt graphs, so it never uses
+   Graph accessors that assume validity (succ maps, node lookups): it
+   walks the raw node array with explicit bounds checks. *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module D = Diagnostic
+
+let run (g : G.t) =
+  let nodes = G.nodes g in
+  let n = Array.length nodes in
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let consumed = Array.make n false in
+  Array.iteri
+    (fun i (nd : G.node) ->
+      if nd.id <> i then
+        emit
+          (D.errorf ~loc:(D.Node i) ~code:"APX001"
+             "carries id %d but sits at index %d" nd.id i);
+      let ar = Op.arity nd.op in
+      if Array.length nd.args <> ar then
+        emit
+          (D.errorf ~loc:(D.Node i) ~code:"APX002"
+             "%s expects %d operand%s, has %d" (Op.mnemonic nd.op) ar
+             (if ar = 1 then "" else "s")
+             (Array.length nd.args));
+      let widths = Op.input_widths nd.op in
+      Array.iteri
+        (fun port a ->
+          if a < 0 || a >= n then
+            emit
+              (D.errorf ~loc:(D.Node i) ~code:"APX003"
+                 "port %d references non-existent node %d" port a)
+          else if a >= i then
+            emit
+              (D.errorf ~loc:(D.Node i) ~code:"APX003"
+                 "port %d references node %d, which is not topologically \
+                  before it"
+                 port a)
+          else begin
+            consumed.(a) <- true;
+            if port < Array.length widths then begin
+              let actual = Op.result_width nodes.(a).op in
+              if actual <> widths.(port) then
+                emit
+                  (D.errorf ~loc:(D.Node i) ~code:"APX004"
+                     "port %d expects a %s but %s produces a %s" port
+                     (match widths.(port) with
+                     | Op.Word -> "16-bit word"
+                     | Op.Bit -> "1-bit predicate")
+                     (Op.mnemonic nodes.(a).op)
+                     (match actual with
+                     | Op.Word -> "16-bit word"
+                     | Op.Bit -> "1-bit predicate"))
+            end
+          end)
+        nd.args;
+      (* range checks on embedded immediates *)
+      match nd.op with
+      | Op.Const v when v land 0xffff <> v ->
+          emit
+            (D.warnf ~loc:(D.Node i) ~code:"APX008"
+               "constant %d does not fit in 16 bits (truncates to %d)" v
+               (v land 0xffff))
+      | Op.Lut tt when tt land 0xff <> tt ->
+          emit
+            (D.warnf ~loc:(D.Node i) ~code:"APX008"
+               "LUT truth table %d does not fit in 8 bits" tt)
+      | _ -> ())
+    nodes;
+  (* duplicate I/O names: the interpreter, the mapper and the fabric
+     simulator all address streams by name *)
+  let dup_names code what names =
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (id, name) ->
+        match Hashtbl.find_opt seen name with
+        | Some first ->
+            emit
+              (D.errorf ~loc:(D.Node id) ~code
+                 "%s %S already declared by node %d" what name first)
+        | None -> Hashtbl.replace seen name id)
+      names
+  in
+  let named pred =
+    Array.to_list nodes
+    |> List.filter_map (fun (nd : G.node) ->
+           Option.map (fun name -> (nd.id, name)) (pred nd.op))
+  in
+  dup_names "APX005" "input"
+    (named (function Op.Input s | Op.Bit_input s -> Some s | _ -> None));
+  dup_names "APX005" "output"
+    (named (function Op.Output s | Op.Bit_output s -> Some s | _ -> None));
+  (* dead results: only meaningful for compute and input nodes — output
+     markers are sinks by construction, constants are shared freely *)
+  Array.iter
+    (fun (nd : G.node) ->
+      if nd.id >= 0 && nd.id < n && not consumed.(nd.id) then
+        match nd.op with
+        | op when Op.is_compute op ->
+            emit
+              (D.warnf ~loc:(D.Node nd.id) ~code:"APX006"
+                 "%s computes a result nothing consumes" (Op.mnemonic op))
+        | Op.Input name | Op.Bit_input name ->
+            emit
+              (D.notef ~loc:(D.Node nd.id) ~code:"APX007"
+                 "input %S is never used" name)
+        | _ -> ())
+    nodes;
+  List.rev !diags

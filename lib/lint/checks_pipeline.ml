@@ -1,0 +1,175 @@
+(* Pipeline verification.
+
+   PE level: a plan's (stages, period) must admit a stage assignment, no
+   edge may travel backwards through stages, and the plan's register
+   count must equal what the assignment implies — the pipelined RTL
+   inserts registers from the assignment while area/energy accounting
+   reads the plan, so a disagreement miscosts silently.
+
+   Application level: after branch-delay matching, every reconvergent
+   path must be register-balanced — all inputs of every PE instance (and
+   all application outputs) arrive in the same cycle — and the plan's
+   depth and register accounting must match the recomputed schedule. *)
+
+module Cover = Apex_mapper.Cover
+module Dp = Apex_merging.Datapath
+module Pe_pipeline = Apex_pipelining.Pe_pipeline
+module App_pipeline = Apex_pipelining.App_pipeline
+module D = Diagnostic
+
+let run_pe (dp : Dp.t) (plan : Pe_pipeline.plan) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  if plan.Pe_pipeline.stages < 1 then
+    emit
+      (D.errorf ~code:"APX060" "plan has %d stages; at least 1 required"
+         plan.Pe_pipeline.stages);
+  if not (Float.is_finite plan.Pe_pipeline.period_ps && plan.Pe_pipeline.period_ps > 0.0)
+  then
+    emit
+      (D.errorf ~code:"APX060" "plan period %g ps is not finite and positive"
+         plan.Pe_pipeline.period_ps);
+  if !diags = [] then begin
+    match
+      Pe_pipeline.assign_stages dp ~period_ps:plan.Pe_pipeline.period_ps
+        ~stages:plan.Pe_pipeline.stages
+    with
+    | None ->
+        emit
+          (D.errorf ~code:"APX060"
+             "no stage assignment exists for %d stages at %.1f ps; the plan \
+              is infeasible"
+             plan.Pe_pipeline.stages plan.Pe_pipeline.period_ps)
+    | Some stage ->
+        let implied = ref 0 in
+        List.iter
+          (fun (e : Dp.edge) ->
+            let delta = stage.(e.Dp.dst) - stage.(e.Dp.src) in
+            if delta < 0 then
+              emit
+                (D.errorf
+                   ~loc:(D.Edge { src = e.Dp.src; dst = e.Dp.dst; port = e.Dp.port })
+                   ~code:"APX062"
+                   "travels backwards in time: stage %d -> stage %d"
+                   stage.(e.Dp.src) stage.(e.Dp.dst))
+            else implied := !implied + delta)
+          (List.sort_uniq compare dp.Dp.edges);
+        if !implied <> plan.Pe_pipeline.regs_inserted then
+          emit
+            (D.errorf ~code:"APX061"
+               "plan accounts %d pipeline registers but the stage assignment \
+                implies %d"
+               plan.Pe_pipeline.regs_inserted !implied)
+  end;
+  List.rev !diags
+
+let run_app (m : Cover.t) (plan : App_pipeline.plan) =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let lat = plan.App_pipeline.pe_latency in
+  let regs_of key =
+    Option.value ~default:0 (List.assoc_opt key plan.App_pipeline.edge_regs)
+  in
+  List.iter
+    (fun ((idx, port), k) ->
+      if k < 0 then
+        emit
+          (D.errorf
+             ~loc:(if idx >= 0 then D.Instance idx else D.No_loc)
+             ~code:"APX065" "negative register chain (%d) on port %d" k port))
+    plan.App_pipeline.edge_regs;
+  (* recompute instance-ready times under the plan's latency *)
+  let n = Array.length m.Cover.instances in
+  let ready = Array.make n (-1) in
+  let cyclic = ref false in
+  let rec ready_of idx =
+    if ready.(idx) >= 0 then ready.(idx)
+    else if ready.(idx) = -2 then begin
+      cyclic := true;
+      0
+    end
+    else begin
+      ready.(idx) <- -2;
+      let inst = m.Cover.instances.(idx) in
+      let latest =
+        List.fold_left
+          (fun acc (_, drv) -> max acc (arrival drv))
+          0 inst.Cover.inputs
+      in
+      let r = latest + lat in
+      ready.(idx) <- r;
+      r
+    end
+  and arrival = function
+    | Cover.From_input _ -> 0
+    | Cover.From_pe (j, _) -> ready_of j
+  in
+  Array.iteri (fun idx _ -> ignore (ready_of idx)) m.Cover.instances;
+  if !cyclic then
+    emit
+      (D.errorf ~code:"APX063"
+         "mapped graph is cyclic; no schedule balances it")
+  else begin
+    (* every instance's inputs must arrive together once chains apply *)
+    Array.iteri
+      (fun idx (inst : Cover.instance) ->
+        match inst.Cover.inputs with
+        | [] | [ _ ] -> ()
+        | inputs ->
+            let balanced =
+              List.map
+                (fun (port, drv) -> (port, arrival drv + regs_of (idx, port)))
+                inputs
+            in
+            let _, first = List.hd balanced in
+            List.iter
+              (fun (port, a) ->
+                if a <> first then
+                  emit
+                    (D.errorf ~loc:(D.Instance idx) ~code:"APX063"
+                       "reconvergent paths unbalanced: port %d arrives at \
+                        cycle %d, another input at cycle %d"
+                       port a first))
+              (List.tl balanced))
+      m.Cover.instances;
+    (* outputs balance against each other and define the depth *)
+    let out_arrivals =
+      List.mapi
+        (fun k (_, drv) -> arrival drv + regs_of (-1 - k, 0))
+        m.Cover.outputs
+    in
+    (match out_arrivals with
+    | [] -> ()
+    | first :: rest ->
+        List.iteri
+          (fun k a ->
+            if a <> first then
+              emit
+                (D.errorf ~code:"APX063"
+                   "application outputs unbalanced: output %d arrives at \
+                    cycle %d, output 0 at cycle %d"
+                   (k + 1) a first))
+          rest;
+        if first <> plan.App_pipeline.depth_cycles then
+          emit
+            (D.errorf ~code:"APX064"
+               "plan claims %d cycles of depth but outputs arrive at cycle %d"
+               plan.App_pipeline.depth_cycles first))
+  end;
+  (* register / register-file accounting *)
+  let total_chain =
+    List.fold_left (fun acc (_, k) -> acc + max 0 k) 0 plan.App_pipeline.edge_regs
+  in
+  if
+    plan.App_pipeline.n_regs + plan.App_pipeline.rf_total_depth <> total_chain
+    || plan.App_pipeline.n_regs < 0
+    || plan.App_pipeline.n_reg_files < 0
+    || plan.App_pipeline.rf_total_depth < plan.App_pipeline.n_reg_files
+  then
+    emit
+      (D.errorf ~code:"APX065"
+         "register accounting broken: %d regs + %d words in %d register \
+          files vs %d registers on edges"
+         plan.App_pipeline.n_regs plan.App_pipeline.rf_total_depth
+         plan.App_pipeline.n_reg_files total_chain);
+  List.rev !diags

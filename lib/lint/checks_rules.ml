@@ -1,0 +1,233 @@
+(* Rewrite-rule linting.
+
+   A rule is only as good as three promises: its configuration is valid
+   for the PE datapath, Mapper.cover can actually apply it (inputs bound
+   to ports, compute nodes positionally paired with fu_ops, sinks exposed
+   on outputs, constants paired with registers), and the configured
+   datapath computes the pattern.  The last promise is re-established
+   here: random 16-bit vectors for every rule, plus a SAT equivalence
+   check for complex (multi-node) rules — a rule that was never
+   SMT-verified upstream surfaces as an APX044 note or an APX043 error. *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module Pattern = Apex_mining.Pattern
+module Dp = Apex_merging.Datapath
+module Rules = Apex_mapper.Rules
+module Verify = Apex_smt.Verify
+module D = Diagnostic
+
+(* SAT budget for re-verification: small enough to keep `apex lint --all`
+   interactive, wide enough to prove the rule sets we generate *)
+let smt_width = 6
+let smt_conflict_budget = 60_000
+let smt_random_tests = 32
+
+let rule_label (r : Rules.t) = r.Rules.config.Dp.label
+
+let pattern_nodes p pred =
+  Array.to_list (G.nodes (Pattern.graph p))
+  |> List.filter_map (fun (nd : G.node) ->
+         if pred nd.op then Some nd.id else None)
+
+let config_structure (dp : Dp.t) (r : Rules.t) emit =
+  let loc = D.Rule (rule_label r) in
+  let cfg = r.Rules.config in
+  let n = Array.length dp.Dp.nodes in
+  let in_range id = id >= 0 && id < n in
+  let is_fu id =
+    in_range id
+    && match dp.Dp.nodes.(id).Dp.kind with Dp.Fu _ -> true | _ -> false
+  in
+  List.iter
+    (fun (fu, op) ->
+      if not (is_fu fu) then
+        emit (D.errorf ~loc ~code:"APX040" "activates node %d, not an FU" fu)
+      else if not (List.mem op dp.Dp.nodes.(fu).Dp.ops) then
+        emit
+          (D.errorf ~loc ~code:"APX040" "FU %d does not support op %s" fu
+             (Op.mnemonic op)))
+    cfg.Dp.fu_ops;
+  List.iter
+    (fun ((dst, port), src) ->
+      if
+        not
+          (List.exists
+             (fun (e : Dp.edge) ->
+               e.Dp.src = src && e.Dp.dst = dst && e.Dp.port = port)
+             dp.Dp.edges)
+      then
+        emit
+          (D.errorf ~loc ~code:"APX040" "routes a missing edge %d->%d.%d" src
+             dst port))
+    cfg.Dp.routes;
+  (* every active port must have a select *)
+  List.iter
+    (fun (fu, op) ->
+      if is_fu fu then
+        for port = 0 to Op.arity op - 1 do
+          if not (List.mem_assoc (fu, port) cfg.Dp.routes) then
+            emit
+              (D.errorf ~loc ~code:"APX040"
+                 "active FU %d (%s) has no route for port %d" fu
+                 (Op.mnemonic op) port)
+        done)
+    cfg.Dp.fu_ops;
+  List.iter
+    (fun (creg, _) ->
+      if not (in_range creg && dp.Dp.nodes.(creg).Dp.kind = Dp.Creg) then
+        emit
+          (D.errorf ~loc ~code:"APX040"
+             "assigns a constant to node %d, not a constant register" creg))
+    cfg.Dp.consts
+
+let cover_usability (dp : Dp.t) (r : Rules.t) emit =
+  let loc = D.Rule (rule_label r) in
+  let cfg = r.Rules.config in
+  let p = r.Rules.pattern in
+  let pg = Pattern.graph p in
+  let n = Array.length dp.Dp.nodes in
+  (* 1. every pattern input bound to a real input port of the right width *)
+  List.iter
+    (fun (nd : G.node) ->
+      match nd.op with
+      | Op.Input name | Op.Bit_input name -> (
+          match List.assoc_opt nd.id cfg.Dp.inputs with
+          | None ->
+              emit
+                (D.errorf ~loc ~code:"APX041"
+                   "pattern input %S (node %d) is bound to no PE port; \
+                    Mapper.cover cannot wire it"
+                   name nd.id)
+          | Some port ->
+              let want =
+                match nd.op with Op.Bit_input _ -> Dp.Bit_in_port | _ -> Dp.In_port
+              in
+              if
+                not
+                  (port >= 0 && port < n
+                  && dp.Dp.nodes.(port).Dp.kind = want)
+              then
+                emit
+                  (D.errorf ~loc ~code:"APX041"
+                     "pattern input %S is bound to node %d, not a matching \
+                      input port"
+                     name port))
+      | _ -> ())
+    (G.nodes pg |> Array.to_list);
+  (* 2. compute nodes pair positionally with fu_ops *)
+  let compute = pattern_nodes p Op.is_compute in
+  if List.length compute <> List.length cfg.Dp.fu_ops then
+    emit
+      (D.errorf ~loc ~code:"APX041"
+         "pattern has %d compute nodes but the config activates %d FUs; the \
+          positional pairing Mapper.cover uses is broken"
+         (List.length compute)
+         (List.length cfg.Dp.fu_ops))
+  else begin
+    (* 3. every sink's FU must be exposed on a PE output *)
+    let sinks =
+      G.io_outputs pg |> List.map (fun (nd : G.node) -> nd.args.(0))
+    in
+    List.iter
+      (fun sink ->
+        match
+          List.find_map
+            (fun (pc, (fu, _)) -> if pc = sink then Some fu else None)
+            (List.combine compute cfg.Dp.fu_ops)
+        with
+        | None ->
+            emit
+              (D.errorf ~loc ~code:"APX041"
+                 "pattern sink %d is implemented by no active FU" sink)
+        | Some fu ->
+            if not (List.exists (fun (_, m) -> m = fu) cfg.Dp.outputs) then
+              emit
+                (D.errorf ~loc ~code:"APX041"
+                   "pattern sink %d (FU %d) is exposed on no PE output" sink fu))
+      sinks
+  end;
+  (* 4. constants pair with constant registers (Cover.specialize refuses
+     the rule otherwise) *)
+  let consts = pattern_nodes p Op.is_const in
+  if List.length consts <> List.length cfg.Dp.consts then
+    emit
+      (D.errorf ~loc ~code:"APX041"
+         "pattern has %d constants but the config sets %d registers; \
+          Cover.specialize will reject every match"
+         (List.length consts)
+         (List.length cfg.Dp.consts))
+
+(* Concrete shape of a pattern graph.  Deliberately NOT the canonical
+   code: commutative const variants ($c0 / $c1) share a canonical code
+   but match different concrete sites, so neither shadows the other. *)
+let concrete_shape p =
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun (nd : G.node) ->
+      Buffer.add_string buf (Op.mnemonic nd.op);
+      Array.iter (fun a -> Buffer.add_string buf (Printf.sprintf ".%d" a)) nd.args;
+      Buffer.add_char buf ';')
+    (G.nodes (Pattern.graph p));
+  Buffer.contents buf
+
+let shadowing rules emit =
+  let seen : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Rules.t) ->
+      let code = concrete_shape r.Rules.pattern in
+      match Hashtbl.find_opt seen code with
+      | Some first ->
+          emit
+            (D.warnf ~loc:(D.Rule (rule_label r)) ~code:"APX042"
+               "same pattern as earlier rule %s; instruction selection will \
+                never reach this rule"
+               first)
+      | None -> Hashtbl.replace seen code (rule_label r))
+    rules
+
+let semantics (dp : Dp.t) (r : Rules.t) emit =
+  let loc = D.Rule (rule_label r) in
+  match Checks_datapath.functional_mismatch dp r.Rules.config r.Rules.pattern with
+  | Some m ->
+      emit
+        (D.errorf ~loc ~code:"APX043"
+           "config does not compute the rule's pattern: %s" m)
+  | None ->
+      if r.Rules.size >= 2 then begin
+        (* complex rules carry merged semantics: re-establish the SAT
+           verdict the synthesis pipeline claims *)
+        match
+          Verify.verify_config ~width:smt_width
+            ~conflict_budget:smt_conflict_budget
+            ~random_tests:smt_random_tests dp r.Rules.config r.Rules.pattern
+        with
+        | Verify.Proved _ -> ()
+        | Verify.Tested ->
+            emit
+              (D.notef ~loc ~code:"APX044"
+                 "verified by testing only; SAT proof exceeded its budget")
+        | Verify.Refuted cex ->
+            emit
+              (D.errorf ~loc ~code:"APX043"
+                 "refuted by SAT: counterexample %s"
+                 (String.concat ", "
+                    (List.map
+                       (fun (node, v) -> Printf.sprintf "n%d=%d" node v)
+                       cex)))
+      end
+
+let run ~dp rules =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  shadowing rules emit;
+  List.iter
+    (fun (r : Rules.t) ->
+      let before = List.length !diags in
+      config_structure dp r emit;
+      cover_usability dp r emit;
+      (* semantics only when the rule is structurally sound: evaluating a
+         broken config would just duplicate the structural finding *)
+      if List.length !diags = before then semantics dp r emit)
+    rules;
+  List.rev !diags

@@ -1,0 +1,160 @@
+module Json = Apex_telemetry.Json
+module Counter = Apex_telemetry.Counter
+module D = Diagnostic
+
+type artifact =
+  | Dfg of { label : string; graph : Apex_dfg.Graph.t }
+  | Datapath of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      patterns : Apex_mining.Pattern.t list;
+    }
+  | Rule_set of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      rules : Apex_mapper.Rules.t list;
+    }
+  | Pe_plan of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      plan : Apex_pipelining.Pe_pipeline.plan;
+    }
+  | App_plan of {
+      label : string;
+      cover : Apex_mapper.Cover.t;
+      plan : Apex_pipelining.App_pipeline.plan;
+    }
+
+let artifact_label = function
+  | Dfg { label; _ }
+  | Datapath { label; _ }
+  | Rule_set { label; _ }
+  | Pe_plan { label; _ }
+  | App_plan { label; _ } -> label
+
+type checker = {
+  name : string;
+  check : artifact -> Diagnostic.t list option;
+}
+
+let builtins =
+  [ { name = "dfg";
+      check =
+        (function Dfg { graph; _ } -> Some (Checks_dfg.run graph) | _ -> None)
+    };
+    { name = "datapath";
+      check =
+        (function
+        | Datapath { dp; patterns; _ } ->
+            Some (Checks_datapath.run ~patterns dp)
+        | _ -> None)
+    };
+    { name = "rules";
+      check =
+        (function
+        | Rule_set { dp; rules; _ } -> Some (Checks_rules.run ~dp rules)
+        | _ -> None)
+    };
+    { name = "pipeline";
+      check =
+        (function
+        | Pe_plan { dp; plan; _ } -> Some (Checks_pipeline.run_pe dp plan)
+        | App_plan { cover; plan; _ } ->
+            Some (Checks_pipeline.run_app cover plan)
+        | _ -> None)
+    } ]
+
+let extra : checker list ref = ref []
+
+let register c = extra := !extra @ [ c ]
+
+let checkers () = builtins @ !extra
+
+type finding = { artifact : string; checker : string; diag : Diagnostic.t }
+
+type report = { findings : finding list; artifacts : int; checks : int }
+
+let run ?checkers:cs artifacts =
+  let cs = match cs with Some cs -> cs | None -> checkers () in
+  let checks = ref 0 in
+  let findings = ref [] in
+  List.iter
+    (fun art ->
+      let label = artifact_label art in
+      List.iter
+        (fun c ->
+          match c.check art with
+          | None -> ()
+          | Some diags ->
+              incr checks;
+              List.iter
+                (fun diag ->
+                  findings :=
+                    { artifact = label; checker = c.name; diag } :: !findings)
+                diags)
+        cs)
+    artifacts;
+  Counter.add "lint.checks_run" !checks;
+  Counter.add "lint.violations" (List.length !findings);
+  Counter.add "lint.errors"
+    (List.length
+       (List.filter (fun f -> f.diag.D.severity = D.Error) !findings));
+  let findings =
+    List.stable_sort
+      (fun a b ->
+        match D.compare a.diag b.diag with
+        | 0 -> String.compare a.artifact b.artifact
+        | c -> c)
+      (List.rev !findings)
+  in
+  { findings; artifacts = List.length artifacts; checks = !checks }
+
+let count r sev =
+  List.length (List.filter (fun f -> f.diag.D.severity = sev) r.findings)
+
+let errors r = count r D.Error
+
+let warnings r = count r D.Warning
+
+let pp_report ppf r =
+  List.iter
+    (fun f -> Format.fprintf ppf "%s: %a@." f.artifact D.pp f.diag)
+    r.findings;
+  let e = errors r and w = warnings r and n = count r D.Note in
+  if e + w + n = 0 then
+    Format.fprintf ppf "no violations (%d artifacts, %d checks)@." r.artifacts
+      r.checks
+  else
+    Format.fprintf ppf
+      "%d error%s, %d warning%s, %d note%s (%d artifacts, %d checks)@." e
+      (if e = 1 then "" else "s")
+      w
+      (if w = 1 then "" else "s")
+      n
+      (if n = 1 then "" else "s")
+      r.artifacts r.checks
+
+let report_to_json r =
+  Json.Obj
+    [ ( "findings",
+        Json.List
+          (List.map
+             (fun f ->
+               match D.to_json f.diag with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("artifact", Json.String f.artifact)
+                     :: ("checker", Json.String f.checker)
+                     :: fields)
+               | j -> j)
+             r.findings) );
+      ( "summary",
+        Json.Obj
+          [ ("errors", Json.Int (errors r));
+            ("warnings", Json.Int (warnings r));
+            ("notes", Json.Int (count r D.Note));
+            ("artifacts", Json.Int r.artifacts);
+            ("checks", Json.Int r.checks) ] ) ]
+
+let exit_code ~werror r =
+  if errors r > 0 then 1 else if werror && warnings r > 0 then 1 else 0

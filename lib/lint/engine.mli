@@ -1,0 +1,84 @@
+(** The lint engine: a registry of pluggable checkers over every IR in
+    the flow, and a driver that runs them and aggregates diagnostics.
+
+    Artifacts name the IRs the flow produces — application / pattern
+    DFGs, merged datapaths (optionally with the patterns their configs
+    claim to implement), rewrite-rule sets, PE pipeline plans and mapped
+    application pipeline plans.  Each checker declares which artifacts
+    it understands; {!run} dispatches every artifact to every applicable
+    checker and returns one flat, stably-sorted report.
+
+    When telemetry is enabled ({!Apex_telemetry.Registry.enable}), a run
+    counts [lint.checks_run], [lint.violations] and [lint.errors]. *)
+
+type artifact =
+  | Dfg of { label : string; graph : Apex_dfg.Graph.t }
+  | Datapath of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      patterns : Apex_mining.Pattern.t list;
+          (** mined patterns whose canonical codes may label configs;
+              empty to skip coverage / realization checks *)
+    }
+  | Rule_set of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      rules : Apex_mapper.Rules.t list;
+    }
+  | Pe_plan of {
+      label : string;
+      dp : Apex_merging.Datapath.t;
+      plan : Apex_pipelining.Pe_pipeline.plan;
+    }
+  | App_plan of {
+      label : string;
+      cover : Apex_mapper.Cover.t;
+      plan : Apex_pipelining.App_pipeline.plan;
+    }
+
+val artifact_label : artifact -> string
+
+type checker = {
+  name : string;
+  check : artifact -> Diagnostic.t list option;
+      (** [None] when the checker does not apply to this artifact kind *)
+}
+
+val builtins : checker list
+(** The four built-in checkers: ["dfg"], ["datapath"], ["rules"],
+    ["pipeline"] (PE and application plans). *)
+
+val register : checker -> unit
+(** Append a custom checker to the global registry (after builtins). *)
+
+val checkers : unit -> checker list
+
+type finding = {
+  artifact : string;  (** label of the artifact the diagnostic is about *)
+  checker : string;
+  diag : Diagnostic.t;
+}
+
+type report = {
+  findings : finding list;  (** sorted: most severe first, then code *)
+  artifacts : int;          (** artifacts examined *)
+  checks : int;             (** (checker, artifact) pairs that applied *)
+}
+
+val run : ?checkers:checker list -> artifact list -> report
+(** Defaults to the global registry ({!checkers} [()]). *)
+
+val count : report -> Diagnostic.severity -> int
+
+val errors : report -> int
+
+val warnings : report -> int
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per finding ([<artifact>: error[APX023] ...]) followed by a
+    summary line.  Prints ["no violations"] on a clean report. *)
+
+val report_to_json : report -> Apex_telemetry.Json.t
+
+val exit_code : werror:bool -> report -> int
+(** 0 when clean, 1 on any error — or any warning under [~werror]. *)

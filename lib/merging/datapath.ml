@@ -194,7 +194,9 @@ let evaluate dp config ~env =
     match memo.(id) with
     | Some v -> v
     | None ->
-        if visiting.(id) then failwith "Datapath.evaluate: active cycle";
+        if visiting.(id) then
+          invalid_arg
+            (Printf.sprintf "Datapath.evaluate: active cycle through node %d" id);
         visiting.(id) <- true;
         let nd = dp.nodes.(id) in
         let v =
@@ -202,21 +204,25 @@ let evaluate dp config ~env =
           | In_port | Bit_in_port -> (
               match List.assoc_opt id env with
               | Some v -> v
-              | None -> failwith (Printf.sprintf "Datapath.evaluate: input %d unset" id))
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Datapath.evaluate: input %d unset" id))
           | Creg -> (
               match List.assoc_opt id config.consts with
               | Some v -> v
               | None -> 0)
           | Fu _ -> (
               match List.assoc_opt id config.fu_ops with
-              | None -> failwith (Printf.sprintf "Datapath.evaluate: FU %d inactive" id)
+              | None ->
+                  invalid_arg
+                    (Printf.sprintf "Datapath.evaluate: FU %d inactive" id)
               | Some op ->
                   let args =
                     Array.init (Op.arity op) (fun port ->
                         match List.assoc_opt (id, port) config.routes with
                         | Some src -> value src
                         | None ->
-                            failwith
+                            invalid_arg
                               (Printf.sprintf
                                  "Datapath.evaluate: no route for %d.%d" id port))
                   in
@@ -332,6 +338,21 @@ let pp ppf dp =
     dp.edges;
   Format.fprintf ppf "@]"
 
+let dot_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* deterministic: nodes in id order, edges sorted by (src, dst, port),
+   labels escaped — stable goldens no matter how the merge ordered the
+   edge list *)
 let to_dot ?(name = "datapath") dp =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf (Printf.sprintf "digraph %s {\n  rankdir=TB;\n" name);
@@ -340,8 +361,10 @@ let to_dot ?(name = "datapath") dp =
       let label, shape =
         match n.kind with
         | Fu k ->
-            ( Printf.sprintf "%s\\n%s" k
-                (String.concat " " (List.map Op.mnemonic (List.sort_uniq Op.compare n.ops))),
+            ( Printf.sprintf "%s\\n%s" (dot_escape k)
+                (dot_escape
+                   (String.concat " "
+                      (List.map Op.mnemonic (List.sort_uniq Op.compare n.ops)))),
               "box" )
         | Creg -> ("creg", "diamond")
         | In_port -> ("in", "oval")
@@ -358,6 +381,8 @@ let to_dot ?(name = "datapath") dp =
       Buffer.add_string buf
         (Printf.sprintf "  n%d -> n%d [label=\"p%d\"%s];\n" e.src e.dst e.port
            style))
-    dp.edges;
+    (List.sort_uniq
+       (fun (a : edge) (b : edge) -> compare (a.src, a.dst, a.port) (b.src, b.dst, b.port))
+       dp.edges);
   Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -72,8 +72,9 @@ val evaluate : t -> config -> env:(int * int) list -> (int * int) list
     value to each pattern output position.  Only active edges are
     followed, so evaluation is well-defined even for configurations of
     heavily merged datapaths.
-    @raise Failure if the active subgraph is cyclic or a route is
-    missing. *)
+    @raise Invalid_argument naming the offending node if the active
+    subgraph is cyclic, an input is unset, an inactive FU is read, or a
+    route is missing. *)
 
 val area : t -> float
 (** Quick area estimate (um^2): FU blocks + op slices + constant

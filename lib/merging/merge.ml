@@ -269,7 +269,7 @@ let merge ?(strategy = Max_weight_clique) ?(clique_budget = 2_000_000)
         | [] ->
             (* disjoint union must be valid; re-raise the real error *)
             (match D.validate dp with
-            | Error m -> failwith ("Merge.merge: " ^ m)
+            | Error m -> invalid_arg ("Merge.merge: " ^ m)
             | Ok () -> assert false)
         | lightest :: _ ->
             attempt (List.filter (fun i -> i <> lightest) members) (dropped + 1))

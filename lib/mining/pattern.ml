@@ -152,7 +152,9 @@ let rebuild g order =
           | Op.Word ->
               incr n_inputs;
               G.Builder.add0 b (Op.Input (Printf.sprintf "x%d" !n_inputs))
-          | Op.Bit -> G.Builder.add0 b (Op.Bit_input (Printf.sprintf "p%d" !n_inputs))
+          | Op.Bit ->
+              incr n_inputs;
+              G.Builder.add0 b (Op.Bit_input (Printf.sprintf "p%d" !n_inputs))
         in
         Hashtbl.replace remap arg a;
         a

@@ -20,7 +20,9 @@ let balance ?(rf_cutoff = 2) (m : Cover.t) ~pe_latency =
   let rec ready_of idx =
     if ready.(idx) >= 0 then ready.(idx)
     else if ready.(idx) = -2 then
-      failwith "App_pipeline.balance: cyclic mapped graph"
+      invalid_arg
+        (Printf.sprintf
+           "App_pipeline.balance: cyclic mapped graph through instance %d" idx)
     else begin
       ready.(idx) <- -2;
       let inst = m.instances.(idx) in

@@ -22,7 +22,9 @@ type plan = {
 val balance : ?rf_cutoff:int -> Apex_mapper.Cover.t -> pe_latency:int -> plan
 (** Compute arrival times and the balancing plan.  [rf_cutoff] is the
     chain length above which a register chain becomes a register file
-    (the designer-adjustable knob of Section 4.3). *)
+    (the designer-adjustable knob of Section 4.3).
+    @raise Invalid_argument naming the instance if the mapped graph is
+    cyclic (a mapper bug). *)
 
 val regs_area : plan -> float
 val regs_energy : plan -> float

@@ -112,6 +112,13 @@ let min_period (dp : D.t) ~stages =
   in
   let hi = Float.max lo (Apex_peak.Cost.critical_path dp +. 1.0) in
   let lo = ref lo and hi = ref hi in
+  (* Cost.critical_path counts FU delays only; [node_delay] also charges
+     input muxes, so on heavily merged datapaths the seed upper bound
+     can itself be infeasible — grow it until it is, or the search
+     would "converge" onto an infeasible period *)
+  while not (let f, _, _ = level dp ~t:!hi ~stages in f) do
+    hi := !hi *. 2.0
+  done;
   for _ = 1 to 40 do
     let mid = (!lo +. !hi) /. 2.0 in
     let feasible, _, _ = level dp ~t:mid ~stages in

@@ -362,7 +362,7 @@ let cegis ?(width = 8) ?(max_instrs = 100_000) (spec : Spec.t) p =
                          match D.evaluate dp cfg ~env with
                          | [ (_, v) ] -> golden assignment = [ v ]
                          | _ -> false
-                         | exception Failure _ -> false
+                         | exception (Failure _ | Invalid_argument _) -> false
                        in
                        if List.for_all agrees !samples then begin
                          match Verify.verify_config ~width dp cfg p with

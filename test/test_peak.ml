@@ -267,7 +267,7 @@ let prop_decode_never_raises =
       in
       match Spec.eval spec instr ~env with
       | out -> List.for_all (fun (_, v) -> v >= 0 && v <= 0xffff) out
-      | exception Failure _ -> true)
+      | exception (Failure _ | Invalid_argument _) -> true)
 
 let props = List.map QCheck_alcotest.to_alcotest [ prop_decode_never_raises ]
 
