@@ -1,4 +1,9 @@
 CI_TRACE := /tmp/apex-ci-trace.json
+CI_J1 := /tmp/apex-ci-jobs1.json
+CI_J4 := /tmp/apex-ci-jobs4.json
+CI_COLD := /tmp/apex-ci-cold.json
+CI_WARM := /tmp/apex-ci-warm.json
+CI_CACHE := /tmp/apex-ci-cache
 
 .PHONY: all build test bench ci clean
 
@@ -18,9 +23,17 @@ bench:
 # --check-verified profile of the camera pipeline must produce a
 # well-formed JSON report with the key search counters populated —
 # including proof that the phase-boundary lint checkers actually ran.
+# (--no-cache: a warm artifact cache would legitimately zero the
+# phase counters this step requires.)
+#
+# Then the execution-runtime guards:
+#   determinism  — the full profile with --jobs 4 must produce a report
+#                  identical to --jobs 1 modulo timing fields;
+#   cache        — a warm rerun against a scratch cache must hit
+#                  (exec.cache_hits > 0) and compute identical results.
 ci: build test
 	dune exec bin/apex_cli.exe -- lint --all --werror
-	dune exec bin/apex_cli.exe -- profile camera --check --trace=$(CI_TRACE)
+	dune exec bin/apex_cli.exe -- profile camera --check --no-cache --trace=$(CI_TRACE)
 	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
 	  --require mining.patterns_grown \
 	  --require mining.embeddings_enumerated \
@@ -29,7 +42,16 @@ ci: build test
 	  --require mapper.cover_attempts \
 	  --require dse.memo_hits \
 	  --require lint.checks_run
+	dune exec bin/apex_cli.exe -- profile --all --jobs 1 --no-cache --trace=$(CI_J1) > /dev/null
+	dune exec bin/apex_cli.exe -- profile --all --jobs 4 --no-cache --trace=$(CI_J4) > /dev/null
+	dune exec bin/apex_cli.exe -- report-diff $(CI_J1) $(CI_J4)
+	rm -rf $(CI_CACHE)
+	APEX_CACHE_DIR=$(CI_CACHE) dune exec bin/apex_cli.exe -- profile --all --trace=$(CI_COLD) > /dev/null
+	APEX_CACHE_DIR=$(CI_CACHE) dune exec bin/apex_cli.exe -- profile --all --trace=$(CI_WARM) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_WARM) --require exec.cache_hits
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_COLD) $(CI_WARM)
 
 clean:
 	dune clean
-	rm -f $(CI_TRACE)
+	rm -f $(CI_TRACE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
+	rm -rf $(CI_CACHE)

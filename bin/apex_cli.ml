@@ -86,6 +86,32 @@ let check_arg =
 
 let set_check check = if check then Apex.Check.enable ()
 
+(* --- execution runtime: --jobs / --no-cache flags shared by the flow
+   subcommands.  Evaluated before the run function so every phase sees
+   the configured pool width and cache state. *)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel phases (mining, rule synthesis, \
+     evaluation). Defaults to the APEX_JOBS environment variable, else the \
+     machine's core count. Results are bit-identical whatever $(docv) is."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the on-disk artifact cache (see APEX_CACHE_DIR): recompute \
+     every phase and write nothing."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let exec_t =
+  let setup jobs no_cache =
+    Option.iter Apex_exec.Pool.set_jobs jobs;
+    if no_cache then Apex_exec.Store.set_enabled false
+  in
+  Term.(const setup $ jobs_arg $ no_cache_arg)
+
 (* --- apps --- *)
 
 let apps_cmd =
@@ -109,7 +135,7 @@ let apps_cmd =
 (* --- analyze --- *)
 
 let analyze_cmd =
-  let run trace app top =
+  let run () trace app top =
     with_trace trace @@ fun () ->
     let a = app_by_name app in
     let ranked = Apex.Variants.analysis_of a in
@@ -125,12 +151,12 @@ let analyze_cmd =
   Cmd.v
     (Cmd.info "analyze"
        ~doc:"Mine an application's frequent subgraphs and rank them by MIS size.")
-    Term.(const run $ trace_arg $ app_arg $ top)
+    Term.(const run $ exec_t $ trace_arg $ app_arg $ top)
 
 (* --- pe (show a variant) --- *)
 
 let pe_cmd =
-  let run trace check variant verilog dot =
+  let run () trace check variant verilog dot =
     with_trace trace @@ fun () ->
     set_check check;
     let v = Apex.Dse.variant_for variant in
@@ -166,12 +192,12 @@ let pe_cmd =
   in
   Cmd.v
     (Cmd.info "pe" ~doc:"Generate and describe a PE variant.")
-    Term.(const run $ trace_arg $ check_arg $ variant_arg $ verilog $ dot)
+    Term.(const run $ exec_t $ trace_arg $ check_arg $ variant_arg $ verilog $ dot)
 
 (* --- map --- *)
 
 let map_cmd =
-  let run trace check app variant =
+  let run () trace check app variant =
     with_trace trace @@ fun () ->
     set_check check;
     let a = app_by_name app in
@@ -188,12 +214,12 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map an application onto a PE variant (post-mapping).")
-    Term.(const run $ trace_arg $ check_arg $ app_arg $ variant_arg)
+    Term.(const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run trace check app variant level effort =
+  let run () trace check app variant level effort =
     with_trace trace @@ fun () ->
     set_check check;
     let a = app_by_name app in
@@ -231,13 +257,13 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate an application on a PE variant.")
     Term.(
-      const run $ trace_arg $ check_arg $ app_arg $ variant_arg $ level
+      const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg $ level
       $ effort)
 
 (* --- verify (rewrite rules) --- *)
 
 let verify_cmd =
-  let run trace variant =
+  let run () trace variant =
     with_trace trace @@ fun () ->
     let v = Apex.Dse.variant_for variant in
     Format.printf "verifying the %d rewrite rules of %s:@."
@@ -254,12 +280,12 @@ let verify_cmd =
   Cmd.v
     (Cmd.info "verify"
        ~doc:"Re-verify every rewrite rule of a variant with the SAT engine.")
-    Term.(const run $ trace_arg $ variant_arg)
+    Term.(const run $ exec_t $ trace_arg $ variant_arg)
 
 (* --- compile: the whole back end with bitstream and simulation --- *)
 
 let compile_cmd =
-  let run trace check app variant sim_frames emit_fabric =
+  let run () trace check app variant sim_frames emit_fabric =
     with_trace trace @@ fun () ->
     set_check check;
     let a = app_by_name app in
@@ -316,34 +342,27 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:"Map, place, route and generate the bitstream for an application.")
     Term.(
-      const run $ trace_arg $ check_arg $ app_arg $ variant_arg $ sim
+      const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg $ sim
       $ emit_fabric)
 
 (* --- profile: the full DSE flow with telemetry always on --- *)
 
 let profile_cmd =
-  let run trace check app variant =
-    set_check check;
-    let a = app_by_name app in
+  let profile_app variant (a : Apps.t) =
     let vspec =
       match variant with Some v -> v | None -> "spec:" ^ a.Apps.name
     in
-    (* profile implies tracing: the whole point is the report *)
-    Registry.enable ();
-    Registry.reset ();
     let ranked = Apex.Variants.analysis_of a in
     let v = Apex.Dse.variant_for vspec in
     (* compare against the single-op PE 1 baseline; when [vspec] is the
        default spec:<app>, the variant search already built it, so this
        is a memo hit *)
     let reference = Apex.Dse.pe_k a 0 in
-    let summarize (var : Apex.Variants.t) =
-      match Apex.Metrics.post_pipelining var a with
-      | pp -> Some pp
-      | exception Apex_mapper.Cover.Unmappable _ -> None
+    let pp, pp_ref =
+      match Apex.Dse.evaluate_pairs [ (v, a); (reference, a) ] with
+      | [ pp; pp_ref ] -> (pp, pp_ref)
+      | _ -> assert false
     in
-    let pp = summarize v in
-    let pp_ref = summarize reference in
     Format.printf "profile %s on %s: %d mined subgraphs, %d rules@." a.Apps.name
       v.name (List.length ranked) (List.length v.rules);
     (match (pp, pp_ref) with
@@ -359,15 +378,61 @@ let profile_cmd =
         Format.printf "  %.2f runs/ms/mm^2; %d PEs, %d cycles/run@."
           pp.Apex.Metrics.perf_per_mm2 pp.pnr.pm.n_pes pp.cycles_per_run
     | None, _ -> Format.printf "  unmappable on %s@." v.name);
+    (* machine-readable record of what the run *computed*, as opposed
+       to how it ran — `apex report-diff --results-only` compares
+       exactly this section across cold/warm cache runs, whose counter
+       and span sections legitimately differ *)
+    let pp_fields = function
+      | None -> [ ("mappable", Json.Bool false) ]
+      | Some (pp : Apex.Metrics.post_pipelining) ->
+          [ ("mappable", Json.Bool true);
+            ("n_pes", Json.Int pp.pnr.pm.n_pes);
+            ("cycles_per_run", Json.Int pp.cycles_per_run);
+            ("pe_stages", Json.Int pp.pe_stages);
+            ("period_ps", Json.Float pp.period_ps);
+            ("total_area", Json.Float pp.pnr.total_area);
+            ("perf_per_mm2", Json.Float pp.perf_per_mm2) ]
+    in
+    Json.Obj
+      [ ("app", Json.String a.Apps.name);
+        ("variant", Json.String v.name);
+        ("mined_subgraphs", Json.Int (List.length ranked));
+        ("rules", Json.Int (List.length v.rules));
+        ("result", Json.Obj (pp_fields pp));
+        ("reference", Json.Obj (pp_fields pp_ref)) ]
+  in
+  let run () trace check apps all variant =
+    set_check check;
+    let apps =
+      if all then Apps.evaluated ()
+      else if apps = [] then
+        invalid_arg "profile: name at least one application, or pass --all"
+      else List.map app_by_name apps
+    in
+    (* profile implies tracing: the whole point is the report *)
+    Registry.enable ();
+    Registry.reset ();
+    let results = Json.List (List.map (profile_app variant) apps) in
     let snap = Registry.snapshot () in
     Format.printf "@.%a" Report.pp snap;
     match trace_report_path trace with
     | None -> ()
     | Some path -> (
-        match Report.write_file path snap with
+        match Report.write_file ~results path snap with
         | () -> Format.eprintf "telemetry: JSON report written to %s@." path
         | exception Sys_error m ->
             Format.eprintf "telemetry: cannot write JSON report: %s@." m)
+  in
+  let apps =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"APP" ~doc:"Applications to profile (see `apex apps`).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Profile all six evaluated applications (Table 1).")
   in
   let variant =
     let doc = "PE variant to profile (default: spec:<app>)." in
@@ -379,16 +444,16 @@ let profile_cmd =
   Cmd.v
     (Cmd.info "profile"
        ~doc:
-         "Run mining, variant search, mapping, PnR and pipelining for an \
-          application with telemetry enabled, then print the span tree and \
-          counter tables (and write the JSON report with --trace=FILE or \
-          APEX_TRACE).")
-    Term.(const run $ trace_arg $ check_arg $ app_arg $ variant)
+         "Run mining, variant search, mapping, PnR and pipelining for one or \
+          more applications with telemetry enabled, then print the span tree \
+          and counter tables (and write the JSON report — including a \
+          per-application results section — with --trace=FILE or APEX_TRACE).")
+    Term.(const run $ exec_t $ trace_arg $ check_arg $ apps $ all $ variant)
 
 (* --- lint: run the checker registry over the flow's artifacts --- *)
 
 let lint_cmd =
-  let run trace apps all json werror =
+  let run () trace apps all json werror =
     with_trace trace @@ fun () ->
     let apps =
       if all then Apex.Lint_run.all_apps ()
@@ -428,7 +493,7 @@ let lint_cmd =
          "Check every artifact the flow produces for an application — DFG, \
           mined patterns, merged datapath, rewrite rules, pipeline plans — \
           against the APX invariant catalog (see DESIGN.md).")
-    Term.(const run $ trace_arg $ apps $ all $ json $ werror)
+    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json $ werror)
 
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 
@@ -522,11 +587,162 @@ let trace_check_cmd =
        ~doc:"Validate a telemetry JSON report written by --trace or bench.")
     Term.(const run $ file $ requires)
 
+(* --- cache: inspect and prune the on-disk artifact store --- *)
+
+let cache_cmd =
+  let stats_cmd =
+    let run () =
+      let stats = Apex_exec.Store.stats () in
+      Format.printf "cache %s@." (Apex_exec.Store.cache_dir ());
+      if stats = [] then Format.printf "  (empty)@."
+      else begin
+        Format.printf "  %-12s %8s %12s@." "namespace" "entries" "bytes";
+        List.iter
+          (fun (s : Apex_exec.Store.ns_stats) ->
+            Format.printf "  %-12s %8d %12d@." s.ns s.entries s.bytes)
+          stats;
+        let entries, bytes =
+          List.fold_left
+            (fun (e, b) (s : Apex_exec.Store.ns_stats) ->
+              (e + s.entries, b + s.bytes))
+            (0, 0) stats
+        in
+        Format.printf "  %-12s %8d %12d@." "total" entries bytes
+      end
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Per-namespace entry counts and sizes.")
+      Term.(const run $ const ())
+  in
+  let gc_cmd =
+    let run budget_mb =
+      let budget_bytes = budget_mb * 1024 * 1024 in
+      let deleted, freed = Apex_exec.Store.gc ~budget_bytes () in
+      Format.printf "cache gc: %d entries deleted, %d bytes freed (budget %d MiB)@."
+        deleted freed budget_mb
+    in
+    let budget =
+      Arg.(
+        value & opt int 0
+        & info [ "budget-mb" ] ~docv:"MIB"
+            ~doc:
+              "Keep the newest entries up to $(docv) mebibytes; delete the \
+               rest (default 0: delete everything).")
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Delete oldest cache entries until the store fits a size budget.")
+      Term.(const run $ budget)
+  in
+  Cmd.group
+    (Cmd.info "cache"
+       ~doc:
+         "Manage the content-addressed artifact cache (APEX_CACHE_DIR, \
+          default ~/.cache/apex).")
+    [ stats_cmd; gc_cmd ]
+
+(* --- report-diff: compare two telemetry reports modulo timing (the CI
+   determinism guard: --jobs N and cached runs must not change what the
+   flow computes) --- *)
+
+let report_diff_cmd =
+  let run a_file b_file results_only =
+    let fail fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.printf "report-diff: %s@." m;
+          exit 2)
+        fmt
+    in
+    let load file =
+      let contents =
+        match
+          let ic = open_in_bin file in
+          Fun.protect
+            (fun () -> really_input_string ic (in_channel_length ic))
+            ~finally:(fun () -> close_in ic)
+        with
+        | s -> s
+        | exception Sys_error m -> fail "%s" m
+      in
+      match Json.of_string contents with
+      | Ok j -> j
+      | Error m -> fail "%s: invalid JSON: %s" file m
+    in
+    (* normalization: drop wall-clock fields everywhere, and drop the
+       runtime's own exec.* metrics — worker/cache bookkeeping is
+       *expected* to differ across --jobs and cache configurations *)
+    let exec_metric (k, _) = String.length k >= 5 && String.sub k 0 5 = "exec." in
+    let rec normalize = function
+      | Json.Obj fields ->
+          Json.Obj
+            (List.filter_map
+               (fun (k, v) ->
+                 match (k, v) with
+                 | "total_ms", _ -> None
+                 | ("counters" | "gauges" | "distributions"), Json.Obj fs ->
+                     Some
+                       ( k,
+                         Json.Obj
+                           (List.filter (fun f -> not (exec_metric f)) fs
+                           |> List.map (fun (k2, v2) -> (k2, normalize v2))) )
+                 | _ -> Some (k, normalize v))
+               fields)
+      | Json.List l -> Json.List (List.map normalize l)
+      | j -> j
+    in
+    let project file j =
+      if not results_only then normalize j
+      else
+        match Json.member "results" j with
+        | Some r -> r
+        | None -> fail "%s has no \"results\" section" file
+    in
+    let a = project a_file (load a_file) in
+    let b = project b_file (load b_file) in
+    if Json.to_string a = Json.to_string b then begin
+      Format.printf "report-diff: %s and %s agree%s@." a_file b_file
+        (if results_only then " (results)" else " (modulo timing)");
+      exit 0
+    end
+    else begin
+      Format.printf "report-diff: %s and %s DIFFER%s@." a_file b_file
+        (if results_only then " (results)" else " (modulo timing)");
+      exit 1
+    end
+  in
+  let a_file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"First JSON telemetry report.")
+  in
+  let b_file =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Second JSON telemetry report.")
+  in
+  let results_only =
+    Arg.(
+      value & flag
+      & info [ "results-only" ]
+          ~doc:
+            "Compare only the reports' \"results\" sections (for cold- vs \
+             warm-cache runs, whose counters and spans legitimately differ).")
+  in
+  Cmd.v
+    (Cmd.info "report-diff"
+       ~doc:
+         "Compare two telemetry JSON reports modulo timing fields and \
+          runtime (exec.*) metrics; exit 0 when they agree, 1 when they \
+          differ.")
+    Term.(const run $ a_file $ b_file $ results_only)
+
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd;
-      compile_cmd; profile_cmd; lint_cmd; trace_check_cmd ]
+      compile_cmd; profile_cmd; lint_cmd; trace_check_cmd; cache_cmd;
+      report_diff_cmd ]
 
 let () =
   (* user errors (bad variant spec, unmappable app) deserve a clean

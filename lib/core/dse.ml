@@ -106,6 +106,21 @@ let pe_ip3 () =
 let pe_ml () =
   memo "ml" (fun () -> Variants.domain ~name:"PE ML" ~per_app:2 (ml_apps ()))
 
+(* Evaluate (variant, app) pairs on the domain pool.  Variant
+   *construction* (memo above) is serial — it feeds shared in-memory
+   caches — but evaluation is pure per pair, so the fan-out is safe and
+   results come back in submission order.  [None] marks pairs the rule
+   set cannot cover. *)
+let evaluate_pairs ?effort pairs =
+  Apex_exec.Pool.map
+    (fun ((v : Variants.t), (app : Apps.t)) ->
+      match Metrics.post_pipelining ?effort v app with
+      | pp -> Some pp
+      | exception Apex_mapper.Cover.Unmappable _ ->
+          Counter.incr "dse.unmappable_pairs";
+          None)
+    pairs
+
 let accepted_variant_forms =
   [ "base"; "ip"; "ip2"; "ip3"; "ml"; "spec:<app>"; "pe1:<app>"; "pek:<app>:<k>" ]
 

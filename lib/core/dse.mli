@@ -37,6 +37,16 @@ val pe_ip3 : unit -> Variants.t
 val pe_ml : unit -> Variants.t
 (** Machine-learning domain PE. *)
 
+val evaluate_pairs :
+  ?effort:int ->
+  (Variants.t * Apex_halide.Apps.t) list ->
+  Metrics.post_pipelining option list
+(** Evaluate (variant, application) pairs — mapping, PnR, pipelining —
+    on the execution pool ([--jobs] domains), returning results in
+    submission order.  [None] marks pairs the variant's rule set cannot
+    cover.  Variants must already be constructed (construction is
+    serial; it feeds shared memo tables). *)
+
 val variant_for : string -> Variants.t
 (** Lookup by the names used in the benches: "base", "spec:<app>",
     "ip", "ip2", "ip3", "ml", "pe1:<app>", "pek:<app>:<k>".

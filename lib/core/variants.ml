@@ -24,6 +24,8 @@ let config_key (c : Miner.config) =
   Printf.sprintf "%d/%d/%b/%d" c.min_support c.max_size c.include_consts
     c.max_subgraphs
 
+module Store = Apex_exec.Store
+
 let analysis_of ?(config = default_mining) (app : Apps.t) =
   let key = (app.name, config_key config) in
   match Hashtbl.find_opt analysis_cache key with
@@ -32,7 +34,17 @@ let analysis_of ?(config = default_mining) (app : Apps.t) =
       r
   | None ->
       Apex_telemetry.Counter.incr "dse.analysis_cache_misses";
-      let ranked, _ = Analysis.analyze ~config app.graph in
+      let ranked =
+        (* keyed on the graph content, not the app name: a renamed but
+           structurally identical kernel reuses the mined artifact *)
+        Store.memoize ~ns:"analysis"
+          ~key:
+            (Store.key ~version:"analysis/1"
+               [ Store.fingerprint app.graph; config_key config ])
+          (fun () -> fst (Analysis.analyze ~config app.graph))
+      in
+      (* lint verification runs warm or cold — it checks invariants of
+         this build's IR, which a cached artifact may violate *)
       Check.verify "mining"
         (Lint.Dfg { label = app.name; graph = app.graph }
         :: List.map
@@ -65,7 +77,12 @@ let pe1 (app : Apps.t) =
   make "PE 1" (Library.subset ~ops:(Library.ops_of_graph app.graph)) []
 
 let merge_into dp patterns =
-  List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns
+  Store.memoize ~ns:"merge"
+    ~key:
+      (Store.key ~version:"merge/1"
+         [ Store.fingerprint (dp.D.nodes, dp.D.edges, dp.D.configs);
+           Store.fingerprint (List.map Pattern.code patterns) ])
+    (fun () -> List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns)
 
 let specialized ?(config = default_mining) (app : Apps.t) ~n_subgraphs =
   let ranked = analysis_of ~config app in

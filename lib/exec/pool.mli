@@ -1,0 +1,44 @@
+(** Deterministic fork-join scheduler on OCaml 5 domains.
+
+    The pool runs independent units of a DSE phase — per-root embedding
+    enumeration, per-pattern rule synthesis, per-pair compatibility
+    rows, per-variant evaluation — across a fixed number of domains
+    while keeping the *observable result identical to a serial run*:
+
+    - [map f xs] always delivers results in submission order, whatever
+      order tasks finish in;
+    - a task's exception is re-raised for the lowest submission index
+      that failed, mirroring which element a serial [List.map] would
+      have raised on;
+    - workers inherit the submitting domain's telemetry span context,
+      so span trees aggregate under the same (parent, name) keys as a
+      serial run.
+
+    Tasks must be independent (no task may observe another's side
+    effects) — that is the caller's contract, checked by the CI
+    determinism guard ([apex report-diff] of --jobs 1 vs --jobs 4
+    runs).  Nested calls from inside a task degrade to serial
+    execution instead of spawning further domains. *)
+
+val default_jobs : unit -> int
+(** [APEX_JOBS] when set and positive, otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** Current worker count: the last [set_jobs], or [default_jobs ()]. *)
+
+val set_jobs : int -> unit
+(** Fix the worker count (the CLI's [--jobs N]).  Clamped to [1, 64].
+    [set_jobs 1] forces fully serial execution. *)
+
+val map : ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with submission-order results. *)
+
+val map_array : ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with submission-order results. *)
+
+val map_reduce : map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c ->
+  'a list -> 'c
+(** [map_reduce ~map ~reduce ~init xs] maps in parallel, then folds the
+    results in submission order — equivalent to
+    [List.fold_left reduce init (List.map map xs)]. *)

@@ -1,0 +1,218 @@
+(* Content-addressed artifact cache.
+
+   Entry layout (all text header lines end in '\n', payload is raw
+   Marshal bytes):
+
+     APEXCACHE\n
+     <format_version>\n
+     <hex digest of payload>\n
+     <payload length in bytes>\n
+     <payload>
+
+   The entry *name* is already a digest of (format version, namespace,
+   phase version tag, canonical inputs), so the header only needs to
+   defend against torn writes, bit rot and stale formats — key
+   collisions are content-addressing's problem and solved upstream. *)
+
+module Counter = Apex_telemetry.Counter
+
+let format_version = "apex.exec.store/1"
+
+let magic = "APEXCACHE"
+
+let default_dir () =
+  match Sys.getenv_opt "APEX_CACHE_DIR" with
+  | Some d when d <> "" -> d
+  | _ -> (
+      match Sys.getenv_opt "HOME" with
+      | Some h when h <> "" -> Filename.concat (Filename.concat h ".cache") "apex"
+      | _ -> Filename.concat (Filename.get_temp_dir_name ()) "apex-cache")
+
+let dir_override = ref None
+
+let cache_dir () =
+  match !dir_override with Some d -> d | None -> default_dir ()
+
+let set_dir d = dir_override := Some d
+
+let on = ref true
+
+let enabled () = !on
+
+let set_enabled b = on := b
+
+let fingerprint v = Marshal.to_string v []
+
+let key ~version parts =
+  Digest.to_hex
+    (Digest.string (String.concat "\x01" (format_version :: version :: parts)))
+
+let rec mkdir_p d =
+  if not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* namespace directories keep [gc]/[stats] walks trivial and let users
+   nuke one phase's artifacts by hand without touching the rest *)
+let entry_path ~ns ~key = Filename.concat (Filename.concat (cache_dir ()) ns) key
+
+type read_result = Hit of string | Miss | Corrupt | Stale
+
+let read_entry path =
+  if not (Sys.file_exists path) then Miss
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> Miss
+    | ic -> (
+        let parse () =
+          let line () = input_line ic in
+          if line () <> magic then Corrupt
+          else if line () <> format_version then Stale
+          else begin
+            let digest = line () in
+            match int_of_string_opt (line ()) with
+            | None -> Corrupt
+            | Some len ->
+                let payload = really_input_string ic len in
+                (* a trailing garbage byte means a torn or doubled write *)
+                if in_channel_length ic <> pos_in ic then Corrupt
+                else if Digest.to_hex (Digest.string payload) <> digest then
+                  Corrupt
+                else Hit payload
+          end
+        in
+        match Fun.protect parse ~finally:(fun () -> close_in_noerr ic) with
+        | r -> r
+        | exception (End_of_file | Sys_error _ | Failure _) -> Corrupt)
+
+let write_entry path payload =
+  mkdir_p (Filename.dirname path);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    (fun () ->
+      output_string oc magic;
+      output_char oc '\n';
+      output_string oc format_version;
+      output_char oc '\n';
+      output_string oc (Digest.to_hex (Digest.string payload));
+      output_char oc '\n';
+      output_string oc (string_of_int (String.length payload));
+      output_char oc '\n';
+      output_string oc payload)
+    ~finally:(fun () -> close_out_noerr oc);
+  Sys.rename tmp path;
+  Counter.add "exec.cache_bytes_written" (String.length payload)
+
+let evict path = try Sys.remove path with Sys_error _ -> ()
+
+let store ~ns ~key v =
+  if !on then begin
+    match write_entry (entry_path ~ns ~key) (Marshal.to_string v []) with
+    | () -> ()
+    | exception (Sys_error _ | Unix.Unix_error _) -> ()
+  end
+
+let decode payload =
+  (* the payload digest matched, but defend against a valid-looking
+     entry written by an incompatible build: any unmarshalling failure
+     degrades to a recompute *)
+  match (Marshal.from_string payload 0 : 'a) with
+  | v -> Some v
+  | exception _ -> None
+
+let lookup ~ns ~key =
+  if not !on then None
+  else
+    let path = entry_path ~ns ~key in
+    match read_entry path with
+    | Hit payload -> (
+        match decode payload with
+        | Some v ->
+            Counter.incr "exec.cache_hits";
+            Counter.add "exec.cache_bytes_read" (String.length payload);
+            Some v
+        | None ->
+            Counter.incr "exec.cache_corrupt";
+            evict path;
+            None)
+    | Miss -> None
+    | Stale ->
+        Counter.incr "exec.cache_stale";
+        evict path;
+        None
+    | Corrupt ->
+        Counter.incr "exec.cache_corrupt";
+        evict path;
+        None
+
+let memoize ~ns ~key f =
+  if not !on then f ()
+  else
+    match lookup ~ns ~key with
+    | Some v -> v
+    | None ->
+        Counter.incr "exec.cache_misses";
+        let v = f () in
+        store ~ns ~key v;
+        v
+
+(* --- maintenance: stats and gc --- *)
+
+type ns_stats = { ns : string; entries : int; bytes : int }
+
+let entry_files () =
+  let root = cache_dir () in
+  if not (Sys.file_exists root && Sys.is_directory root) then []
+  else
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+    |> List.concat_map (fun ns ->
+           let d = Filename.concat root ns in
+           if not (Sys.is_directory d) then []
+           else
+             Sys.readdir d |> Array.to_list |> List.sort String.compare
+             |> List.filter_map (fun name ->
+                    let path = Filename.concat d name in
+                    match Unix.stat path with
+                    | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->
+                        Some (ns, path, st_size, st_mtime)
+                    | _ -> None
+                    | exception Unix.Unix_error _ -> None))
+
+let stats () =
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (ns, _, size, _) ->
+      let entries, bytes =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt tbl ns)
+      in
+      Hashtbl.replace tbl ns (entries + 1, bytes + size))
+    (entry_files ());
+  Hashtbl.fold (fun ns (entries, bytes) acc -> { ns; entries; bytes } :: acc)
+    tbl []
+  |> List.sort (fun a b -> String.compare a.ns b.ns)
+
+let gc ?(budget_bytes = 0) () =
+  (* newest entries survive: sort by mtime descending, keep while the
+     running total fits the budget, delete the tail *)
+  let files =
+    List.sort
+      (fun (_, _, _, ma) (_, _, _, mb) -> compare mb ma)
+      (entry_files ())
+  in
+  let _, deleted, freed =
+    List.fold_left
+      (fun (kept_bytes, deleted, freed) (_, path, size, _) ->
+        if kept_bytes + size <= budget_bytes then
+          (kept_bytes + size, deleted, freed)
+        else begin
+          evict path;
+          (kept_bytes, deleted + 1, freed + size)
+        end)
+      (0, 0, 0) files
+  in
+  (deleted, freed)

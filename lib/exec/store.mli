@@ -1,0 +1,62 @@
+(** Content-addressed on-disk artifact cache.
+
+    Phase results — mined pattern sets, merged datapaths, synthesized
+    rule sets, pipeline plans — are memoized under a digest of their
+    canonical input encoding, the phase configuration, and the cache
+    format/code version.  Entries live under [APEX_CACHE_DIR] (default
+    [~/.cache/apex]), one file per artifact, written atomically
+    (temp + rename) so an interrupted sweep leaves only complete
+    entries and resumes from them.
+
+    Robustness contract: a truncated, corrupted or version-mismatched
+    entry is *never* an error — it is detected (length + digest +
+    version header), counted ([exec.cache_corrupt] /
+    [exec.cache_stale]), evicted, and transparently recomputed. *)
+
+val format_version : string
+(** Container format tag; changing it invalidates every entry. *)
+
+val cache_dir : unit -> string
+(** Resolved cache root: [APEX_CACHE_DIR], else [$HOME/.cache/apex],
+    else a directory under the system temp dir. *)
+
+val set_dir : string -> unit
+(** Override the cache root (tests, bench sweeps). *)
+
+val enabled : unit -> bool
+
+val set_enabled : bool -> unit
+(** [set_enabled false] (the CLI's [--no-cache]) makes [memoize] always
+    recompute and never touch the disk. *)
+
+val fingerprint : 'a -> string
+(** Canonical binary encoding of a (closure-free) value, suitable as a
+    [key] part.  Stable across runs for structurally equal values. *)
+
+val key : version:string -> string list -> string
+(** [key ~version parts] digests the format version, the phase's
+    [version] tag (bump it when the cached type or the producing
+    algorithm changes) and the input [parts] into an entry name. *)
+
+val memoize : ns:string -> key:string -> (unit -> 'a) -> 'a
+(** [memoize ~ns ~key f] returns the cached value for [key] in
+    namespace [ns], or computes [f ()], stores it, and returns it.
+    Unmarshalling is only type-safe because the key embeds the phase
+    version tag — callers must bump the tag on any type change. *)
+
+val lookup : ns:string -> key:string -> 'a option
+(** Cache probe without compute; [None] on miss/corrupt/disabled. *)
+
+val store : ns:string -> key:string -> 'a -> unit
+(** Unconditional write (no-op when disabled); errors are swallowed —
+    a failed cache write must never change a run's outcome. *)
+
+type ns_stats = { ns : string; entries : int; bytes : int }
+
+val stats : unit -> ns_stats list
+(** Per-namespace entry counts and byte totals, sorted by namespace. *)
+
+val gc : ?budget_bytes:int -> unit -> int * int
+(** [gc ~budget_bytes ()] deletes oldest entries (by mtime) until the
+    cache fits the budget (default 0 = delete everything); returns
+    (entries deleted, bytes freed). *)

@@ -158,9 +158,27 @@ let pattern_rule ?(verify = true) (dp : D.t) p =
       end
       else None
 
+module Store = Apex_exec.Store
+
 let rule_set ?verify (dp : D.t) ~patterns =
   Apex_telemetry.Span.with_ "rules" @@ fun () ->
-  let complex = List.filter_map (pattern_rule ?verify dp) patterns in
-  let simple = single_op_rules dp in
-  Apex_telemetry.Counter.add "rules.in_rule_set" (List.length complex + List.length simple);
-  List.sort (fun a b -> compare b.size a.size) (complex @ simple)
+  let key =
+    Store.key ~version:"rules/1"
+      [ Store.fingerprint (dp.D.nodes, dp.D.edges, dp.D.configs);
+        Store.fingerprint (List.map Pattern.code patterns);
+        Store.fingerprint verify ]
+  in
+  (* SMT rule synthesis dominates warm-path cost; a hit skips it
+     entirely.  Per-pattern synthesis runs are independent, so the
+     cold path fans them out on the pool. *)
+  let rules =
+    Store.memoize ~ns:"rules" ~key @@ fun () ->
+    let complex =
+      List.filter_map Fun.id
+        (Apex_exec.Pool.map (pattern_rule ?verify dp) patterns)
+    in
+    let simple = single_op_rules dp in
+    List.sort (fun a b -> compare b.size a.size) (complex @ simple)
+  in
+  Apex_telemetry.Counter.add "rules.in_rule_set" (List.length rules);
+  rules

@@ -54,102 +54,76 @@ exception Budget
 
 module Counter = Apex_telemetry.Counter
 module Span = Apex_telemetry.Span
+module Pool = Apex_exec.Pool
 
-(* ESU enumeration: each connected node set of size in [2, max_size] is
-   visited exactly once. *)
-let mine cfg g =
-  Span.with_ "mining" @@ fun () ->
-  let adj, ok = adjacency cfg g in
-  let n = G.length g in
-  let groups : (string, Pattern.t * int list list * int) Hashtbl.t =
-    Hashtbl.create 64
+(* Reusable canonical-coding scratch: one buffer and two index tables
+   per enumeration (or per pool task) instead of fresh allocations for
+   every embedding — the position table and key buffer are rebuilt in
+   place, and the caller passes the node list already sorted so it is
+   not re-sorted both here and for the embedding record. *)
+type scratch = {
+  buf : Buffer.t;
+  pos : (int, int) Hashtbl.t;
+  ext : (int, int) Hashtbl.t;
+}
+
+let make_scratch () =
+  { buf = Buffer.create 128; pos = Hashtbl.create 16; ext = Hashtbl.create 16 }
+
+let shape_key cfg g scratch sorted =
+  let { buf; pos; ext } = scratch in
+  Buffer.clear buf;
+  Hashtbl.reset pos;
+  Hashtbl.reset ext;
+  List.iteri (fun i id -> Hashtbl.replace pos id i) sorted;
+  (* externals are numbered by first use, so sharing is captured but
+     the key is position-independent *)
+  List.iter
+    (fun id ->
+      let nd = G.node g id in
+      let op = if cfg.generalize_consts then generalize_op nd.op else nd.op in
+      Buffer.add_string buf (Op.mnemonic op);
+      Buffer.add_char buf '(';
+      Array.iter
+        (fun a ->
+          (match Hashtbl.find_opt pos a with
+          | Some p -> Buffer.add_string buf (string_of_int p)
+          | None ->
+              let k =
+                match Hashtbl.find_opt ext a with
+                | Some k -> k
+                | None ->
+                    let k = Hashtbl.length ext in
+                    Hashtbl.replace ext a k;
+                    k
+              in
+              Buffer.add_char buf 'x';
+              Buffer.add_string buf (string_of_int k);
+              (* keep the width in the key *)
+              Buffer.add_char buf
+                (match Op.result_width (G.node g a).op with
+                | Op.Word -> 'w'
+                | Op.Bit -> 'b'));
+          Buffer.add_char buf ',')
+        nd.args;
+      Buffer.add_string buf ");")
+    sorted;
+  Buffer.contents buf
+
+let canonicalize cfg g sub =
+  let induced, _ = G.induced g sub in
+  let induced =
+    if cfg.generalize_consts then G.map_ops induced generalize_op else induced
   in
-  (* embedding lists are capped per pattern; the true occurrence count
-     is tracked separately and capped patterns are reported in stats *)
-  let max_embeddings = 4000 in
-  let enumerated = ref 0 in
-  let truncated = ref false in
-  let in_sub = Array.make n false in
-  (* canonicalization cache: embeddings whose induced subgraphs have the
-     same shape relative to their sorted node order (the common case for
-     repeated stencil structure) share one canonicalization *)
-  let canon_cache : (string, Pattern.t) Hashtbl.t = Hashtbl.create 256 in
-  let canon_hits = ref 0 in
-  let shape_key sub =
-    let sorted = List.sort compare sub in
-    let pos = Hashtbl.create 8 in
-    List.iteri (fun i id -> Hashtbl.replace pos id i) sorted;
-    let buf = Buffer.create 64 in
-    (* externals are numbered by first use, so sharing is captured but
-       the key is position-independent *)
-    let ext = Hashtbl.create 8 in
-    List.iter
-      (fun id ->
-        let nd = G.node g id in
-        let op = if cfg.generalize_consts then generalize_op nd.op else nd.op in
-        Buffer.add_string buf (Op.mnemonic op);
-        Buffer.add_char buf '(';
-        Array.iter
-          (fun a ->
-            (match Hashtbl.find_opt pos a with
-            | Some p -> Buffer.add_string buf (string_of_int p)
-            | None ->
-                let k =
-                  match Hashtbl.find_opt ext a with
-                  | Some k -> k
-                  | None ->
-                      let k = Hashtbl.length ext in
-                      Hashtbl.replace ext a k;
-                      k
-                in
-                Buffer.add_char buf 'x';
-                Buffer.add_string buf (string_of_int k);
-                (* keep the width in the key *)
-                Buffer.add_char buf
-                  (match Op.result_width (G.node g a).op with
-                  | Op.Word -> 'w'
-                  | Op.Bit -> 'b'));
-            Buffer.add_char buf ',')
-          nd.args;
-        Buffer.add_string buf ");")
-      sorted;
-    Buffer.contents buf
-  in
-  let record sub =
-    incr enumerated;
-    if !enumerated > cfg.max_subgraphs then raise Budget;
-    (* only patterns with at least one compute node are interesting *)
-    if List.exists (fun i -> Op.is_compute (G.node g i).op) sub then begin
-      let p =
-        let sk = shape_key sub in
-        match Hashtbl.find_opt canon_cache sk with
-        | Some p ->
-            incr canon_hits;
-            p
-        | None ->
-            let induced, _ = G.induced g sub in
-            let induced =
-              if cfg.generalize_consts then G.map_ops induced generalize_op
-              else induced
-            in
-            let p = Pattern.of_graph induced in
-            Hashtbl.replace canon_cache sk p;
-            p
-      in
-      let key = Pattern.code p in
-      let prev, count =
-        match Hashtbl.find_opt groups key with
-        | Some (_, embs, count) -> (embs, count)
-        | None -> ([], 0)
-      in
-      let prev =
-        if count < max_embeddings then List.sort compare sub :: prev else prev
-      in
-      Hashtbl.replace groups key (p, prev, count + 1)
-    end
-  in
-  let rec extend sub size ext root =
-    if size >= 2 then record sub;
+  Pattern.of_graph induced
+
+(* ESU enumeration rooted at [root]: every connected node set of size in
+   [2, max_size] containing [root] as its minimum-id member is visited
+   exactly once, in a deterministic DFS order.  [emit] receives the node
+   set in construction order (root last). *)
+let enumerate cfg adj in_sub ~root ~emit =
+  let rec extend sub size ext =
+    if size >= 2 then emit sub;
     if size < cfg.max_size then begin
       let rec loop = function
         | [] -> ()
@@ -167,22 +141,148 @@ let mine cfg g =
                 adj.(w)
             in
             in_sub.(w) <- true;
-            extend (w :: sub) (size + 1) (rest @ exclusive) root;
+            extend (w :: sub) (size + 1) (rest @ exclusive);
             in_sub.(w) <- false;
             loop rest
       in
       loop ext
     end
   in
+  let ext = List.filter (fun u -> u > root) adj.(root) in
+  in_sub.(root) <- true;
+  extend [ root ] 1 ext;
+  in_sub.(root) <- false
+
+(* One enumerated embedding, as handed from a (possibly parallel) root
+   enumeration to the serial recording pass: the sorted node set, and
+   its shape key when it contains a compute node (only those become
+   patterns). *)
+type emitted = { sorted : int list; skey : string option }
+
+(* Enumerate a contiguous range of roots, pre-computing shape keys and
+   one canonical pattern per locally-new key.  Pure with respect to
+   shared state, so ranges can run on pool domains; the recording pass
+   below replays the emissions in root order, which makes the result —
+   including every telemetry counter — bit-identical to a serial run. *)
+let enumerate_range cfg g adj ok ~lo ~hi =
+  let in_sub = Array.make (G.length g) false in
+  let scratch = make_scratch () in
+  let patterns : (string, Pattern.t) Hashtbl.t = Hashtbl.create 64 in
+  let acc = ref [] in
+  let emit sub =
+    let entry =
+      if List.exists (fun i -> Op.is_compute (G.node g i).op) sub then begin
+        let sorted = List.sort compare sub in
+        let skey = shape_key cfg g scratch sorted in
+        if not (Hashtbl.mem patterns skey) then
+          (* first local representative; the recorder only consults this
+             table for the *globally* first representative, which is
+             necessarily also locally first in its range *)
+          Hashtbl.replace patterns skey (canonicalize cfg g sub);
+        { sorted; skey = Some skey }
+      end
+      else { sorted = List.sort compare sub; skey = None }
+    in
+    acc := entry :: !acc
+  in
+  for root = lo to hi - 1 do
+    if ok.(root) then enumerate cfg adj ~root ~emit in_sub
+  done;
+  (List.rev !acc, patterns)
+
+(* ESU enumeration: each connected node set of size in [2, max_size] is
+   visited exactly once. *)
+let mine cfg g =
+  Span.with_ "mining" @@ fun () ->
+  let adj, ok = adjacency cfg g in
+  let n = G.length g in
+  let groups : (string, Pattern.t * int list list * int) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* embedding lists are capped per pattern; the true occurrence count
+     is tracked separately and capped patterns are reported in stats *)
+  let max_embeddings = 4000 in
+  let enumerated = ref 0 in
+  let truncated = ref false in
+  (* canonicalization cache: embeddings whose induced subgraphs have the
+     same shape relative to their sorted node order (the common case for
+     repeated stencil structure) share one canonicalization *)
+  let canon_cache : (string, Pattern.t) Hashtbl.t = Hashtbl.create 256 in
+  let canon_hits = ref 0 in
+  (* serial recording of one embedding: grouping, canonicalization
+     cache, budget.  [pattern_for] supplies the canonical pattern for a
+     cache-missing key (computed inline serially, pre-computed on a
+     worker domain in the parallel path). *)
+  let record ~pattern_for sorted skey =
+    incr enumerated;
+    if !enumerated > cfg.max_subgraphs then raise Budget;
+    match skey with
+    | None -> () (* only patterns with >= 1 compute node are interesting *)
+    | Some sk ->
+        let p =
+          match Hashtbl.find_opt canon_cache sk with
+          | Some p ->
+              incr canon_hits;
+              p
+          | None ->
+              let p = pattern_for sk in
+              Hashtbl.replace canon_cache sk p;
+              p
+        in
+        let key = Pattern.code p in
+        let prev, count =
+          match Hashtbl.find_opt groups key with
+          | Some (_, embs, count) -> (embs, count)
+          | None -> ([], 0)
+        in
+        let prev = if count < max_embeddings then sorted :: prev else prev in
+        Hashtbl.replace groups key (p, prev, count + 1)
+  in
+  let roots = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 ok in
+  let jobs = Pool.jobs () in
   (try
-     for v = 0 to n - 1 do
-       if ok.(v) then begin
-         let ext = List.filter (fun u -> u > v) adj.(v) in
-         in_sub.(v) <- true;
-         extend [ v ] 1 ext v;
-         in_sub.(v) <- false
-       end
-     done
+     if jobs <= 1 || roots < 2 then begin
+       (* serial: enumerate and record in one pass, nothing materialized *)
+       let in_sub = Array.make n false in
+       let scratch = make_scratch () in
+       let emit sub =
+         if List.exists (fun i -> Op.is_compute (G.node g i).op) sub then begin
+           let sorted = List.sort compare sub in
+           let sk = shape_key cfg g scratch sorted in
+           record sorted (Some sk)
+             ~pattern_for:(fun _ -> canonicalize cfg g sub)
+         end
+         else record (List.sort compare sub) None ~pattern_for:(fun _ -> assert false)
+       in
+       for root = 0 to n - 1 do
+         if ok.(root) then enumerate cfg adj ~root ~emit in_sub
+       done
+     end
+     else begin
+       (* parallel: enumerate root ranges on the pool, then *replay* the
+          emissions in root order so grouping, the canonicalization
+          cache, the budget cut-off and every counter behave exactly as
+          the serial pass above *)
+       let chunk = max 1 (n / (jobs * 8)) in
+       let ranges =
+         List.init
+           ((n + chunk - 1) / chunk)
+           (fun i -> (i * chunk, min n ((i + 1) * chunk)))
+       in
+       let parts =
+         Pool.map (fun (lo, hi) -> enumerate_range cfg g adj ok ~lo ~hi) ranges
+       in
+       List.iter
+         (fun (entries, patterns) ->
+           List.iter
+             (fun { sorted; skey } ->
+               record sorted skey ~pattern_for:(fun sk ->
+                   (* the first global representative of [sk] was
+                      enumerated by this very range, so its table has it *)
+                   Hashtbl.find patterns sk))
+             entries)
+         parts
+     end
    with Budget -> truncated := true);
   let capped = ref 0 in
   let rejected = ref 0 in

@@ -129,32 +129,43 @@ let min_period (dp : D.t) ~stages =
 
 let max_stages = 16
 
+module Store = Apex_exec.Store
+
 let plan ?(target_ps = Tech.clock_period_ps) ?(benefit_threshold = 0.10) dp =
   Apex_telemetry.Span.with_ "pe_retime" @@ fun () ->
-  (* meet the target if any stage count can; otherwise stop growing when
-     an extra stage no longer buys a significant period reduction *)
-  let rec meet s =
-    if s > max_stages then None
-    else
-      let period, regs = min_period dp ~stages:s in
-      if period <= target_ps then Some (s, period, regs) else meet (s + 1)
-  in
-  let rec greedy stages (prev_period, prev_regs) =
-    if stages >= max_stages then (stages, prev_period, prev_regs)
-    else begin
-      let period, regs = min_period dp ~stages:(stages + 1) in
-      if prev_period -. period < benefit_threshold *. prev_period then
-        (stages, prev_period, prev_regs)
-      else greedy (stages + 1) (period, regs)
-    end
+  let cache_key =
+    Store.key ~version:"pipeline/1"
+      [ Store.fingerprint (dp.D.nodes, dp.D.edges);
+        Store.fingerprint (target_ps, benefit_threshold) ]
   in
   let stages, period_ps, regs_inserted =
+    Store.memoize ~ns:"pipeline" ~key:cache_key @@ fun () ->
+    (* meet the target if any stage count can; otherwise stop growing
+       when an extra stage no longer buys a significant period
+       reduction *)
+    let rec meet s =
+      if s > max_stages then None
+      else
+        let period, regs = min_period dp ~stages:s in
+        if period <= target_ps then Some (s, period, regs) else meet (s + 1)
+    in
+    let rec greedy stages (prev_period, prev_regs) =
+      if stages >= max_stages then (stages, prev_period, prev_regs)
+      else begin
+        let period, regs = min_period dp ~stages:(stages + 1) in
+        if prev_period -. period < benefit_threshold *. prev_period then
+          (stages, prev_period, prev_regs)
+        else greedy (stages + 1) (period, regs)
+      end
+    in
     match meet 1 with
     | Some plan -> plan
     | None ->
         let p1, r1 = min_period dp ~stages:1 in
         greedy 1 (p1, r1)
   in
+  (* telemetry stays outside the memoized thunk so warm-cache runs
+     report the same pipelining.* counters as cold ones *)
   Apex_telemetry.Counter.incr "pipelining.pe_plans";
   Apex_telemetry.Counter.observe "pipelining.pe_stages" (float_of_int stages);
   Apex_telemetry.Counter.observe "pipelining.period_ps" period_ps;

@@ -1,15 +1,23 @@
 (* Global in-memory telemetry registry.
 
    Everything is gated on [enabled]: when the registry is disabled (the
-   default) every instrumentation entry point is a branch on one bool
-   and returns immediately — no clock reads, no hashtable traffic, no
-   span allocation.  [spans_allocated] exists so the test suite can
+   default) every instrumentation entry point is a branch on one atomic
+   bool and returns immediately — no clock reads, no hashtable traffic,
+   no span allocation.  [spans_allocated] exists so the test suite can
    assert that fast path.
 
    Spans aggregate by (parent path, name): entering "merging" two
    hundred times under the same parent produces one node with count 200
    and the summed wall-clock time, which keeps both memory and the
-   report bounded no matter how hot the instrumented loop is. *)
+   report bounded no matter how hot the instrumented loop is.
+
+   Domain safety: the registry is shared by every domain of the
+   process (the Exec.Pool workers included).  All mutable aggregate
+   state — the span tree, counters, gauges, distributions — is guarded
+   by one mutex; the *span stack* is domain-local (each domain nests
+   its own spans), and a pool worker inherits the submitting domain's
+   current span via [context]/[with_context] so its spans aggregate
+   under the same (parent, name) keys a serial run would produce. *)
 
 type dist = {
   mutable n : int;
@@ -26,17 +34,24 @@ type span = {
   children : (string, span) Hashtbl.t;
 }
 
-let enabled = ref false
+let enabled = Atomic.make false
 
-let enable () = enabled := true
+let enable () = Atomic.set enabled true
 
-let disable () = enabled := false
+let disable () = Atomic.set enabled false
 
-let is_enabled () = !enabled
+let is_enabled () = Atomic.get enabled
+
+(* one lock for all aggregate state; every section under it is short
+   (hashtable lookup + a few field writes), so contention stays low
+   even with a full domain pool hammering counters *)
+let lock = Mutex.create ()
+
+let locked f = Mutex.protect lock f
 
 let spans_allocated = ref 0
 
-let spans_created () = !spans_allocated
+let spans_created () = locked (fun () -> !spans_allocated)
 
 let new_span ~counted name =
   if counted then incr spans_allocated;
@@ -49,7 +64,11 @@ let new_root () =
 
 let root = ref (new_root ())
 
-let stack : span list ref = ref []
+(* per-domain span stack; a fresh domain starts at the root *)
+let stack_key : span list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
 
 let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
 
@@ -58,66 +77,95 @@ let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
 
 let reset () =
-  root := new_root ();
-  stack := [];
-  spans_allocated := 0;
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset dists
+  locked (fun () ->
+      root := new_root ();
+      (stack ()) := [];
+      spans_allocated := 0;
+      Hashtbl.reset counters;
+      Hashtbl.reset gauges;
+      Hashtbl.reset dists)
 
 (* --- spans (used via Span.with_) --- *)
 
-let current () = match !stack with sp :: _ -> sp | [] -> !root
+let current () = match !(stack ()) with sp :: _ -> sp | [] -> !root
 
 let enter name =
-  let parent = current () in
+  let st = stack () in
   let sp =
-    match Hashtbl.find_opt parent.children name with
-    | Some sp -> sp
-    | None ->
-        let sp = new_span ~counted:true name in
-        Hashtbl.replace parent.children name sp;
-        parent.rev_order <- name :: parent.rev_order;
-        sp
+    locked (fun () ->
+        let parent = current () in
+        let sp =
+          match Hashtbl.find_opt parent.children name with
+          | Some sp -> sp
+          | None ->
+              let sp = new_span ~counted:true name in
+              Hashtbl.replace parent.children name sp;
+              parent.rev_order <- name :: parent.rev_order;
+              sp
+        in
+        sp.count <- sp.count + 1;
+        sp)
   in
-  sp.count <- sp.count + 1;
-  stack := sp :: !stack;
+  st := sp :: !st;
   sp
 
 let leave sp dt =
-  sp.total_s <- sp.total_s +. dt;
-  match !stack with
-  | top :: rest when top == sp -> stack := rest
+  locked (fun () -> sp.total_s <- sp.total_s +. dt);
+  let st = stack () in
+  match !st with
+  | top :: rest when top == sp -> st := rest
   | _ ->
       (* a reset happened inside the span: drop whatever is stale *)
-      stack := List.filter (fun s -> not (s == sp)) !stack
+      st := List.filter (fun s -> not (s == sp)) !st
+
+(* --- fork-join context hand-off (used by Exec.Pool) --- *)
+
+(* the submitting domain's current span, to be installed as a worker's
+   stack base so the worker's spans nest exactly where serial execution
+   would have put them *)
+let context () = current ()
+
+let with_context sp f =
+  let st = stack () in
+  let saved = !st in
+  st := [ sp ];
+  Fun.protect f ~finally:(fun () -> st := saved)
 
 (* --- counters, gauges, distributions --- *)
 
 let counter_add name n =
-  if !enabled then
-    match Hashtbl.find_opt counters name with
-    | Some r -> r := !r + n
-    | None -> Hashtbl.replace counters name (ref n)
+  if Atomic.get enabled then
+    locked (fun () ->
+        match Hashtbl.find_opt counters name with
+        | Some r -> r := !r + n
+        | None -> Hashtbl.replace counters name (ref n))
 
 let counter_get name =
-  match Hashtbl.find_opt counters name with Some r -> !r | None -> 0
+  locked (fun () ->
+      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
 
-let gauge_set name v = if !enabled then Hashtbl.replace gauges name v
+let gauge_set name v =
+  if Atomic.get enabled then locked (fun () -> Hashtbl.replace gauges name v)
 
-let gauge_get name = Hashtbl.find_opt gauges name
+let gauge_get name = locked (fun () -> Hashtbl.find_opt gauges name)
 
 let observe name v =
-  if !enabled then
-    match Hashtbl.find_opt dists name with
-    | Some d ->
-        d.n <- d.n + 1;
-        d.sum <- d.sum +. v;
-        if v < d.min_v then d.min_v <- v;
-        if v > d.max_v then d.max_v <- v
-    | None -> Hashtbl.replace dists name { n = 1; sum = v; min_v = v; max_v = v }
+  if Atomic.get enabled then
+    locked (fun () ->
+        match Hashtbl.find_opt dists name with
+        | Some d ->
+            d.n <- d.n + 1;
+            d.sum <- d.sum +. v;
+            if v < d.min_v then d.min_v <- v;
+            if v > d.max_v then d.max_v <- v
+        | None ->
+            Hashtbl.replace dists name { n = 1; sum = v; min_v = v; max_v = v })
 
-let dist_get name = Hashtbl.find_opt dists name
+let dist_get name =
+  locked (fun () ->
+      match Hashtbl.find_opt dists name with
+      | Some d -> Some { d with n = d.n }
+      | None -> None)
 
 (* --- snapshots --- *)
 
@@ -146,12 +194,13 @@ let sorted_bindings tbl value =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
-  let spans = copy_span !root in
-  (* the root has no own timing; report it as the sum of its children *)
-  spans.total_s <-
-    List.fold_left (fun acc c -> acc +. c.total_s) 0.0
-      (children_in_order spans);
-  { spans;
-    counters = sorted_bindings counters (fun r -> !r);
-    gauges = sorted_bindings gauges Fun.id;
-    dists = sorted_bindings dists (fun d -> { d with n = d.n }) }
+  locked (fun () ->
+      let spans = copy_span !root in
+      (* the root has no own timing; report it as the sum of its children *)
+      spans.total_s <-
+        List.fold_left (fun acc c -> acc +. c.total_s) 0.0
+          (children_in_order spans);
+      { spans;
+        counters = sorted_bindings counters (fun r -> !r);
+        gauges = sorted_bindings gauges Fun.id;
+        dists = sorted_bindings dists (fun d -> { d with n = d.n }) })

@@ -64,32 +64,35 @@ let rec span_json (sp : Registry.span) =
       ("children",
        Json.List (List.map span_json (Registry.children_in_order sp))) ]
 
-let to_json (snap : Registry.snapshot) =
+let to_json ?results (snap : Registry.snapshot) =
   Json.Obj
-    [ ("schema", Json.String schema_version);
-      ("spans", span_json snap.spans);
+    ((match results with
+     | None -> []
+     | Some r -> [ ("results", r) ])
+    @ [ ("schema", Json.String schema_version);
+        ("spans", span_json snap.spans);
       ("counters",
        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) snap.counters));
       ("gauges",
        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) snap.gauges));
-      ("distributions",
-       Json.Obj
-         (List.map
-            (fun (k, (d : Registry.dist)) ->
-              ( k,
-                Json.Obj
-                  [ ("count", Json.Int d.n);
-                    ("sum", Json.Float d.sum);
-                    ("min", Json.Float d.min_v);
-                    ("max", Json.Float d.max_v);
-                    ("mean", Json.Float (d.sum /. float_of_int (max 1 d.n)))
-                  ] ))
-            snap.dists)) ]
+        ("distributions",
+         Json.Obj
+           (List.map
+              (fun (k, (d : Registry.dist)) ->
+                ( k,
+                  Json.Obj
+                    [ ("count", Json.Int d.n);
+                      ("sum", Json.Float d.sum);
+                      ("min", Json.Float d.min_v);
+                      ("max", Json.Float d.max_v);
+                      ("mean", Json.Float (d.sum /. float_of_int (max 1 d.n)))
+                    ] ))
+              snap.dists)) ])
 
-let write_file path snap =
+let write_file ?results path snap =
   let oc = open_out path in
   Fun.protect
-    (fun () -> output_string oc (Json.to_string (to_json snap)))
+    (fun () -> output_string oc (Json.to_string (to_json ?results snap)))
     ~finally:(fun () -> close_out oc)
 
 (* Path of the JSON report requested by the environment, if any. *)

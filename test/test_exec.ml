@@ -1,0 +1,278 @@
+(* Tests for the execution substrate: the fork-join pool's determinism
+   contract and the artifact store's robustness contract. *)
+
+module Pool = Apex_exec.Pool
+module Store = Apex_exec.Store
+module Registry = Apex_telemetry.Registry
+module Counter = Apex_telemetry.Counter
+
+let check = Alcotest.check
+
+let with_jobs n f () =
+  Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Pool.set_jobs 1)
+
+(* every store test runs against its own scratch directory *)
+let with_scratch_store f () =
+  let dir =
+    Filename.temp_file "apex-store-test" ""
+  in
+  Sys.remove dir;
+  Store.set_dir dir;
+  Store.set_enabled true;
+  Registry.enable ();
+  Registry.reset ();
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect f ~finally:(fun () ->
+      Registry.disable ();
+      Registry.reset ();
+      if Sys.file_exists dir then rm dir)
+
+(* --- pool --- *)
+
+let test_map_matches_serial () =
+  let xs = List.init 100 (fun i -> i) in
+  let f x = (x * x) + 7 in
+  check
+    Alcotest.(list int)
+    "submission order kept" (List.map f xs)
+    (with_jobs 4 (fun () -> Pool.map f xs) ());
+  check
+    Alcotest.(list int)
+    "empty input" []
+    (with_jobs 4 (fun () -> Pool.map f []) ())
+
+let test_map_reduce () =
+  let xs = List.init 50 (fun i -> i + 1) in
+  check Alcotest.int "fold in submission order" (50 * 51 / 2)
+    (with_jobs 4
+       (fun () -> Pool.map_reduce ~map:Fun.id ~reduce:( + ) ~init:0 xs)
+       ())
+
+let test_exception_propagation () =
+  (* the lowest failing submission index wins, as in a serial map *)
+  let f x = if x >= 30 then failwith (string_of_int x) else x in
+  let got =
+    with_jobs 4
+      (fun () ->
+        match Pool.map f (List.init 100 Fun.id) with
+        | _ -> "no exception"
+        | exception Failure m -> m)
+      ()
+  in
+  check Alcotest.string "first failure delivered" "30" got
+
+let test_nested_map_degrades () =
+  (* a task that itself maps must run inline, not deadlock or spawn *)
+  let got =
+    with_jobs 4
+      (fun () ->
+        Pool.map (fun i -> List.fold_left ( + ) 0 (Pool.map (( * ) i) [ 1; 2; 3 ]))
+          [ 1; 2; 3; 4 ])
+      ()
+  in
+  check Alcotest.(list int) "nested results" [ 6; 12; 18; 24 ] got
+
+let test_workers_share_span_context () =
+  Registry.enable ();
+  Registry.reset ();
+  Fun.protect ~finally:(fun () ->
+      Registry.disable ();
+      Registry.reset ())
+  @@ fun () ->
+  Apex_telemetry.Span.with_ "phase" (fun () ->
+      ignore
+        (with_jobs 4
+           (fun () ->
+             Pool.map (fun i -> Apex_telemetry.Span.with_ "task" (fun () -> i))
+               (List.init 16 Fun.id))
+           ()));
+  let snap = Registry.snapshot () in
+  let phase =
+    List.find
+      (fun (c : Registry.span) -> c.name = "phase")
+      (Registry.children_in_order snap.spans)
+  in
+  match Registry.children_in_order phase with
+  | [ task ] ->
+      check Alcotest.string "task under phase" "task" task.name;
+      check Alcotest.int "all tasks aggregated" 16 task.count
+  | cs -> Alcotest.failf "expected one child span, got %d" (List.length cs)
+
+(* --- store --- *)
+
+let entry_file ns =
+  let d = Filename.concat (Store.cache_dir ()) ns in
+  match Sys.readdir d with
+  | [| name |] -> Filename.concat d name
+  | files -> Alcotest.failf "expected one %s entry, found %d" ns (Array.length files)
+
+let test_hit_on_identical_input () =
+  let key = Store.key ~version:"t/1" [ Store.fingerprint [ 1; 2; 3 ] ] in
+  let computes = ref 0 in
+  let f () = incr computes; List.rev [ 1; 2; 3 ] in
+  let a = Store.memoize ~ns:"t" ~key f in
+  let b = Store.memoize ~ns:"t" ~key f in
+  check Alcotest.(list int) "first result" [ 3; 2; 1 ] a;
+  check Alcotest.(list int) "cached result" [ 3; 2; 1 ] b;
+  check Alcotest.int "computed once" 1 !computes;
+  check Alcotest.int "one hit" 1 (Counter.get "exec.cache_hits");
+  check Alcotest.int "one miss" 1 (Counter.get "exec.cache_misses")
+
+let test_key_sensitivity () =
+  (* the key must move when the input, the phase version or the config
+     moves — that is the whole invalidation story *)
+  let base = Store.key ~version:"t/1" [ Store.fingerprint (1, "cfg") ] in
+  check Alcotest.bool "input changes key" true
+    (base <> Store.key ~version:"t/1" [ Store.fingerprint (2, "cfg") ]);
+  check Alcotest.bool "config changes key" true
+    (base <> Store.key ~version:"t/1" [ Store.fingerprint (1, "cfg2") ]);
+  check Alcotest.bool "version changes key" true
+    (base <> Store.key ~version:"t/2" [ Store.fingerprint (1, "cfg") ]);
+  check Alcotest.bool "key is stable" true
+    (base = Store.key ~version:"t/1" [ Store.fingerprint (1, "cfg") ])
+
+let test_disabled_store_recomputes () =
+  let key = Store.key ~version:"t/1" [ "x" ] in
+  let computes = ref 0 in
+  let f () = incr computes; 42 in
+  ignore (Store.memoize ~ns:"t" ~key f);
+  Store.set_enabled false;
+  ignore (Store.memoize ~ns:"t" ~key f);
+  Store.set_enabled true;
+  check Alcotest.int "recomputed while disabled" 2 !computes
+
+let corrupt_with path f =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      (fun () -> really_input_string ic (in_channel_length ic))
+      ~finally:(fun () -> close_in ic)
+  in
+  let oc = open_out_bin path in
+  Fun.protect (fun () -> output_string oc (f contents))
+    ~finally:(fun () -> close_out oc)
+
+let test_truncated_entry_recovers () =
+  let key = Store.key ~version:"t/1" [ "trunc" ] in
+  let computes = ref 0 in
+  let f () = incr computes; "payload" in
+  ignore (Store.memoize ~ns:"t" ~key f);
+  (* torn write: half the file is gone *)
+  corrupt_with (entry_file "t") (fun s -> String.sub s 0 (String.length s / 2));
+  let v = Store.memoize ~ns:"t" ~key f in
+  check Alcotest.string "recomputed value" "payload" v;
+  check Alcotest.int "recomputed" 2 !computes;
+  check Alcotest.int "corruption counted" 1 (Counter.get "exec.cache_corrupt");
+  (* the bad entry was evicted and rewritten: next lookup hits *)
+  ignore (Store.memoize ~ns:"t" ~key f);
+  check Alcotest.int "clean hit after rewrite" 2 !computes
+
+let test_garbage_entry_recovers () =
+  let key = Store.key ~version:"t/1" [ "garbage" ] in
+  let computes = ref 0 in
+  let f () = incr computes; 7 in
+  ignore (Store.memoize ~ns:"t" ~key f);
+  corrupt_with (entry_file "t") (fun s -> "not a cache entry at all" ^ s);
+  check Alcotest.int "recomputed value" 7 (Store.memoize ~ns:"t" ~key f);
+  check Alcotest.int "recomputed" 2 !computes;
+  check Alcotest.int "corruption counted" 1 (Counter.get "exec.cache_corrupt")
+
+let test_stale_version_recovers () =
+  let key = Store.key ~version:"t/1" [ "stale" ] in
+  ignore (Store.memoize ~ns:"t" ~key (fun () -> 1));
+  (* an entry from an older build: same name, older container version *)
+  corrupt_with (entry_file "t") (fun s ->
+      Str.replace_first (Str.regexp_string Store.format_version)
+        "apex.exec.store/0" s);
+  let computes = ref 0 in
+  check Alcotest.int "recomputed" 5
+    (Store.memoize ~ns:"t" ~key (fun () -> incr computes; 5));
+  check Alcotest.int "stale counted" 1 (Counter.get "exec.cache_stale");
+  check Alcotest.int "not served stale" 1 !computes
+
+let test_stats_and_gc_budget () =
+  let put ns i =
+    Store.store ~ns ~key:(Store.key ~version:"t/1" [ string_of_int i ])
+      (String.make 1000 'x')
+  in
+  List.iter (put "a") [ 1; 2; 3 ];
+  List.iter (put "b") [ 1; 2 ];
+  let stats = Store.stats () in
+  check Alcotest.(list string) "namespaces" [ "a"; "b" ]
+    (List.map (fun (s : Store.ns_stats) -> s.ns) stats);
+  check Alcotest.(list int) "entry counts" [ 3; 2 ]
+    (List.map (fun (s : Store.ns_stats) -> s.entries) stats);
+  let total_bytes =
+    List.fold_left (fun acc (s : Store.ns_stats) -> acc + s.bytes) 0 stats
+  in
+  (* age the "a" entries so gc prefers deleting them *)
+  let old = Unix.time () -. 3600.0 in
+  let adir = Filename.concat (Store.cache_dir ()) "a" in
+  Array.iter
+    (fun e -> Unix.utimes (Filename.concat adir e) old old)
+    (Sys.readdir adir);
+  (* budget for roughly the two newest entries *)
+  let per_entry = total_bytes / 5 in
+  let deleted, freed = Store.gc ~budget_bytes:(2 * per_entry) () in
+  check Alcotest.int "three oldest deleted" 3 deleted;
+  check Alcotest.bool "bytes freed" true (freed >= 3 * 1000);
+  let left = Store.stats () in
+  check Alcotest.(list string) "newest namespace survives" [ "b" ]
+    (List.map (fun (s : Store.ns_stats) -> s.ns) left);
+  (* budget 0 empties the store *)
+  let deleted, _ = Store.gc () in
+  check Alcotest.int "gc all" 2 deleted;
+  check Alcotest.(list string) "empty" []
+    (List.map (fun (s : Store.ns_stats) -> s.ns) (Store.stats ()))
+
+let test_concurrent_memoize () =
+  (* parallel writers of the same key must never corrupt the entry or
+     crash; one of the atomically-renamed writes wins *)
+  let key = Store.key ~version:"t/1" [ "race" ] in
+  let vs =
+    with_jobs 4
+      (fun () ->
+        Pool.map (fun _ -> Store.memoize ~ns:"t" ~key (fun () -> "value"))
+          (List.init 32 Fun.id))
+      ()
+  in
+  check Alcotest.bool "all reads agree" true
+    (List.for_all (String.equal "value") vs);
+  check Alcotest.(option string) "entry readable" (Some "value")
+    (Store.lookup ~ns:"t" ~key)
+
+let () =
+  Alcotest.run "exec"
+    [ ( "pool",
+        [ Alcotest.test_case "map matches serial" `Quick test_map_matches_serial;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exception_propagation;
+          Alcotest.test_case "nested map degrades" `Quick
+            test_nested_map_degrades;
+          Alcotest.test_case "span context inherited" `Quick
+            test_workers_share_span_context ] );
+      ( "store",
+        [ Alcotest.test_case "hit on identical input" `Quick
+            (with_scratch_store test_hit_on_identical_input);
+          Alcotest.test_case "key sensitivity" `Quick
+            (with_scratch_store test_key_sensitivity);
+          Alcotest.test_case "disabled recomputes" `Quick
+            (with_scratch_store test_disabled_store_recomputes);
+          Alcotest.test_case "truncated entry" `Quick
+            (with_scratch_store test_truncated_entry_recovers);
+          Alcotest.test_case "garbage entry" `Quick
+            (with_scratch_store test_garbage_entry_recovers);
+          Alcotest.test_case "stale version" `Quick
+            (with_scratch_store test_stale_version_recovers);
+          Alcotest.test_case "stats and gc budget" `Quick
+            (with_scratch_store test_stats_and_gc_budget);
+          Alcotest.test_case "concurrent memoize" `Quick
+            (with_scratch_store test_concurrent_memoize) ] ) ]

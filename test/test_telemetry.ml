@@ -125,6 +125,49 @@ let test_disabled_allocates_no_spans_in_mining () =
   check Alcotest.int "zero spans allocated" 0 (Registry.spans_created ());
   check Alcotest.int "zero counters" 0 (Counter.get "mining.patterns_grown")
 
+(* --- domain safety: the registry is hammered from parallel domains by
+   the exec pool; totals must be exact, not approximately right --- *)
+
+let test_concurrent_hammer () =
+  let domains = 4 and iters = 2_000 in
+  let work () =
+    for i = 1 to iters do
+      Counter.incr "hammer.c";
+      Counter.add "hammer.c" 2;
+      Counter.observe "hammer.d" (float_of_int (i mod 10));
+      Span.with_ "hammer.outer" (fun () -> Span.with_ "hammer.inner" ignore)
+    done
+  in
+  let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn work) in
+  work ();
+  Array.iter Domain.join spawned;
+  let total = domains * iters in
+  check Alcotest.int "counter exact" (3 * total) (Counter.get "hammer.c");
+  (match Registry.dist_get "hammer.d" with
+  | None -> Alcotest.fail "distribution missing"
+  | Some d -> check Alcotest.int "observations exact" total d.Registry.n);
+  let snap = Registry.snapshot () in
+  let outer = find_child snap.spans "hammer.outer" in
+  check Alcotest.int "outer spans exact" total outer.count;
+  (* each domain has its own span stack: inner always nests under outer *)
+  check Alcotest.int "inner spans exact" total
+    (find_child outer "hammer.inner").count
+
+let test_context_handoff () =
+  (* the pool hands the submitter's innermost span to workers so their
+     spans aggregate under the same parent as a serial run *)
+  Span.with_ "submit" (fun () ->
+      let ctx = Registry.context () in
+      let d =
+        Domain.spawn (fun () ->
+            Registry.with_context ctx (fun () -> Span.with_ "task" ignore))
+      in
+      Domain.join d);
+  let snap = Registry.snapshot () in
+  let submit = find_child snap.spans "submit" in
+  check Alcotest.(list string) "task under submit" [ "task" ]
+    (child_names submit)
+
 (* --- JSON encoder / parser --- *)
 
 let roundtrip v =
@@ -213,6 +256,11 @@ let () =
             (with_registry test_disabled_is_inert);
           Alcotest.test_case "no span allocation in mining" `Quick
             (with_registry test_disabled_allocates_no_spans_in_mining) ] );
+      ( "domains",
+        [ Alcotest.test_case "concurrent hammer" `Quick
+            (with_registry test_concurrent_hammer);
+          Alcotest.test_case "context hand-off" `Quick
+            (with_registry test_context_handoff) ] );
       ( "json",
         [ Alcotest.test_case "value roundtrip" `Quick test_json_roundtrip_values;
           Alcotest.test_case "parser rejects garbage" `Quick
