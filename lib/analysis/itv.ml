@@ -1,0 +1,211 @@
+(* Wrap-around (circular) 16-bit unsigned intervals.
+
+   An interval [{lo; hi}] denotes the set {lo, lo+1 mod 2^16, ..., hi}:
+   a contiguous segment of the value circle Z/2^16.  Unlike classic
+   min/max intervals, a wrapped segment stays precise across the
+   0xffff -> 0 seam, which matters for two's-complement arithmetic where
+   "small negative" constants sit at the top of the unsigned range.
+   The full circle is canonically {lo = 0; hi = 0xffff}; there is no
+   bottom element (facts describe reachable values). *)
+
+let mask = 0xffff
+let card = 0x10000
+
+type t = { lo : int; hi : int }
+
+let full = { lo = 0; hi = mask }
+
+let is_full i = i.lo = 0 && i.hi = mask
+
+(* canonicalize: any segment covering the whole circle is [full] *)
+let make lo hi =
+  let lo = lo land mask and hi = hi land mask in
+  if (hi - lo) land mask = mask then full else { lo; hi }
+
+let const v =
+  let v = v land mask in
+  { lo = v; hi = v }
+
+let bit_top = { lo = 0; hi = 1 }
+
+let size i = ((i.hi - i.lo) land mask) + 1
+
+let mem v i = ((v land mask) - i.lo) land mask <= (i.hi - i.lo) land mask
+
+let is_const i = if i.lo = i.hi then Some i.lo else None
+
+let equal a b = a.lo = b.lo && a.hi = b.hi
+
+(* a ⊆ b: both of a's endpoints must sit inside b *in order* when
+   expressed in b's coordinate frame (offset from b.lo).  Checking only
+   membership of the endpoints is not enough: a wrapped [a] can enter
+   and leave [b]. *)
+let subset a b =
+  if is_full b then true
+  else if is_full a then false
+  else
+    let px = (a.lo - b.lo) land mask and py = (a.hi - b.lo) land mask in
+    px <= py && py < size b
+
+(* least circular segment containing both — among the two hull
+   candidates (a.lo..b.hi and b.lo..a.hi) pick the smallest that really
+   covers both operands *)
+let join a b =
+  if subset a b then b
+  else if subset b a then a
+  else
+    let candidates = [ make a.lo b.hi; make b.lo a.hi ] in
+    let valid = List.filter (fun c -> subset a c && subset b c) candidates in
+    match List.sort (fun x y -> compare (size x) (size y)) valid with
+    | c :: _ -> c
+    | [] -> full
+
+(* --- bounds in the two concrete orders --- *)
+
+(* does the segment contain the step v -> v+1 (strictly inside, i.e. v
+   is a member and not the upper endpoint)? *)
+let crosses i v = mem v i && i.hi <> v
+
+let unsigned_bounds i = if crosses i mask then (0, mask) else (i.lo, i.hi)
+
+let to_signed v = if v land mask >= 0x8000 then (v land mask) - card else v land mask
+
+let signed_bounds i =
+  if crosses i 0x7fff then (-0x8000, 0x7fff)
+  else (to_signed i.lo, to_signed i.hi)
+
+let of_signed_range l h = make (l land mask) (h land mask)
+
+(* --- transfer functions --- *)
+
+(* sum of segment sizes minus one bounds the result segment's size; once
+   it covers the circle all precision is gone *)
+let add a b =
+  if size a + size b - 1 >= card then full
+  else make (a.lo + b.lo) (a.hi + b.hi)
+
+let sub a b =
+  if size a + size b - 1 >= card then full
+  else make (a.lo - b.hi) (a.hi - b.lo)
+
+let neg a = sub (const 0) a
+
+let mul a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (x * y)
+  | _ ->
+      let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+      if ha * hb <= mask then make (la * lb) (ha * hb) else full
+
+(* bitwise complement is order-reversing and exact on segments *)
+let lognot a = make (mask - a.hi) (mask - a.lo)
+
+let logand a b =
+  let _, ha = unsigned_bounds a and _, hb = unsigned_bounds b in
+  make 0 (min ha hb)
+
+let bits_needed v =
+  let rec go n = if v lsr n = 0 then n else go (n + 1) in
+  go 0
+
+let logor a b =
+  let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+  let n = max (bits_needed ha) (bits_needed hb) in
+  make (max la lb) ((1 lsl n) - 1)
+
+let logxor a b =
+  let _, ha = unsigned_bounds a and _, hb = unsigned_bounds b in
+  let n = max (bits_needed ha) (bits_needed hb) in
+  make 0 ((1 lsl n) - 1)
+
+let abs a =
+  let sl, sh = signed_bounds a in
+  if sl >= 0 then a
+  else if sh <= 0 then make (-sh) (-sl)
+  else make 0 (max (-sl) sh)
+
+let smax a b =
+  let la, ha = signed_bounds a and lb, hb = signed_bounds b in
+  of_signed_range (max la lb) (max ha hb)
+
+let smin a b =
+  let la, ha = signed_bounds a and lb, hb = signed_bounds b in
+  of_signed_range (min la lb) (min ha hb)
+
+let umax a b =
+  let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+  make (max la lb) (max ha hb)
+
+let umin a b =
+  let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+  make (min la lb) (min ha hb)
+
+(* shift amounts saturate at 16, like Sem.shift_amount *)
+let shift_lo amt =
+  let l, _ = unsigned_bounds amt in
+  min l 16
+
+let shift_hi amt =
+  let _, h = unsigned_bounds amt in
+  min h 16
+
+let shl a amt =
+  if shift_lo amt >= 16 then const 0
+  else
+    match is_const amt with
+    | Some 0 -> a
+    | Some k when k < 16 ->
+        let la, ha = unsigned_bounds a in
+        if ha lsl k <= mask then make (la lsl k) (ha lsl k) else full
+    | _ -> full
+
+let lshr a amt =
+  let kl = shift_lo amt in
+  if kl >= 16 then const 0
+  else
+    let la, ha = unsigned_bounds a in
+    match is_const amt with
+    | Some 0 -> a
+    | Some k -> make (la lsr k) (ha lsr k)
+    | None -> make 0 (ha lsr kl)
+
+let ashr a amt =
+  let kl = shift_lo amt and kh = shift_hi amt in
+  let sl, sh = signed_bounds a in
+  (* [asr] is monotone in the amount for a fixed value (toward 0 or -1),
+     so the extrema sit at the endpoint amounts; asr-by-16 is the sign *)
+  let app v k = if k >= 16 then if v < 0 then -1 else 0 else v asr k in
+  let cands = [ app sl kl; app sl kh; app sh kl; app sh kh ] in
+  of_signed_range
+    (List.fold_left min max_int cands)
+    (List.fold_left max min_int cands)
+
+(* --- predicates: [Some b] when the comparison is decided --- *)
+
+let disjoint a b = not (mem b.lo a) && not (mem a.lo b)
+
+let eq_decided a b =
+  match (is_const a, is_const b) with
+  | Some x, Some y -> Some (x = y)
+  | _ -> if disjoint a b then Some false else None
+
+let ult_decided a b =
+  let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+  if ha < lb then Some true else if la >= hb then Some false else None
+
+let ule_decided a b =
+  let la, ha = unsigned_bounds a and lb, hb = unsigned_bounds b in
+  if ha <= lb then Some true else if la > hb then Some false else None
+
+let slt_decided a b =
+  let la, ha = signed_bounds a and lb, hb = signed_bounds b in
+  if ha < lb then Some true else if la >= hb then Some false else None
+
+let sle_decided a b =
+  let la, ha = signed_bounds a and lb, hb = signed_bounds b in
+  if ha <= lb then Some true else if la > hb then Some false else None
+
+let pp ppf i =
+  if is_full i then Format.pp_print_string ppf "⊤"
+  else if i.lo = i.hi then Format.fprintf ppf "{%#x}" i.lo
+  else Format.fprintf ppf "[%#x,%#x]" i.lo i.hi

@@ -1,0 +1,68 @@
+(** Wrap-around (circular) 16-bit unsigned intervals.
+
+    [{lo; hi}] denotes the contiguous segment {lo, lo+1 mod 2^16, ..,
+    hi} of the value circle Z/2^16, so ranges stay precise across the
+    0xffff -> 0 seam (two's-complement "small negatives").  The full
+    circle is canonically [{lo = 0; hi = 0xffff}]; there is no bottom
+    element. *)
+
+type t = { lo : int; hi : int }
+
+val full : t
+val is_full : t -> bool
+
+val make : int -> int -> t
+(** Masks both endpoints to 16 bits and canonicalizes whole-circle
+    segments to {!full}. *)
+
+val const : int -> t
+val bit_top : t
+(** The segment [[0, 1]] — the top fact for Bit-width values. *)
+
+val size : t -> int
+(** Number of values in the segment (1 to 2^16). *)
+
+val mem : int -> t -> bool
+val is_const : t -> int option
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+val join : t -> t -> t
+
+val unsigned_bounds : t -> int * int
+(** Smallest enclosing non-wrapped unsigned range (exact unless the
+    segment crosses the 0xffff -> 0 seam, where it widens to full). *)
+
+val signed_bounds : t -> int * int
+(** Same in signed order: exact unless the 0x7fff -> 0x8000 seam is
+    crossed. *)
+
+(** Transfer functions mirror {!Apex_dfg.Sem} (16-bit wrap-around,
+    shift amounts saturating at 16). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val lognot : t -> t
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val abs : t -> t
+val smax : t -> t -> t
+val smin : t -> t -> t
+val umax : t -> t -> t
+val umin : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+(** Decided comparisons: [Some b] when the predicate evaluates to [b]
+    for {e every} pair of values drawn from the two segments. *)
+
+val eq_decided : t -> t -> bool option
+val ult_decided : t -> t -> bool option
+val ule_decided : t -> t -> bool option
+val slt_decided : t -> t -> bool option
+val sle_decided : t -> t -> bool option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** The `apex analyze` driver: static-analysis facts and validated
+    node-count reductions per application. *)
+
+type app_report = {
+  app : string;
+  nodes : int;
+  compute_nodes : int;
+  const_facts : int;
+  bounded_facts : int;
+  stats : Apex_analysis.Opt.stats;
+  validated : bool;
+}
+
+val report_for : Apex_halide.Apps.t -> app_report
+val run : Apex_halide.Apps.t list -> app_report list
+
+val reduction : app_report -> int
+(** Nodes eliminated by the optimizer. *)
+
+val pp : Format.formatter -> app_report list -> unit
+val to_json : app_report list -> Apex_telemetry.Json.t

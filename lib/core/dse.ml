@@ -5,6 +5,8 @@ module Span = Apex_telemetry.Span
 let cache : (string, Variants.t) Hashtbl.t = Hashtbl.create 16
 
 let memo key f =
+  (* optimized and raw flows must not alias a cached variant *)
+  let key = key ^ Optimize.key_suffix () in
   match Hashtbl.find_opt cache key with
   | Some v ->
       Counter.incr "dse.memo_hits";
@@ -79,7 +81,8 @@ let pe_ip3 () =
         Apex_peak.Library.subset
           ~ops:
             (List.concat_map
-               (fun (a : Apps.t) -> Apex_peak.Library.ops_of_graph a.graph)
+               (fun (a : Apps.t) ->
+                 Apex_peak.Library.ops_of_graph (Optimize.app a).graph)
                (ip_apps ())
             |> List.sort_uniq Apex_dfg.Op.compare)
       in

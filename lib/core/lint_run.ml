@@ -18,6 +18,7 @@ module Engine = Apex_lint.Engine
 let n_subgraphs = 2
 
 let artifacts_for (app : Apps.t) =
+  let app = Optimize.app app in
   let v = Dse.pe_k app n_subgraphs in
   let label what = Printf.sprintf "%s/%s" app.Apps.name what in
   let dfgs =

@@ -53,6 +53,7 @@ type post_pipelining = {
 }
 
 let post_mapping (v : Variants.t) (app : Apps.t) =
+  let app = Optimize.app app in
   let mapped = Cover.map_app ~rules:v.rules app.graph in
   let pe_area = D.area v.dp in
   let n_pes = Cover.n_pes mapped in

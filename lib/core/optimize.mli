@@ -1,0 +1,18 @@
+(** Opt-in graph optimization gate for the DSE flow ([--optimize]).
+
+    When enabled, {!app} rewrites an application's graph through the
+    validated optimizer ({!Apex_analysis.Opt.run}) before it enters
+    mining, merging, mapping or linting.  Disabled, {!app} is the
+    identity.  Set the flag once at process start: the per-application
+    result is memoized, and {!key_suffix} lets memo tables distinguish
+    optimized from raw variants. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val is_enabled : unit -> bool
+
+val key_suffix : unit -> string
+(** [":opt"] when enabled, [""] otherwise — append to variant memo
+    keys. *)
+
+val app : Apex_halide.Apps.t -> Apex_halide.Apps.t

@@ -27,7 +27,8 @@ let config_key (c : Miner.config) =
 module Store = Apex_exec.Store
 
 let analysis_of ?(config = default_mining) (app : Apps.t) =
-  let key = (app.name, config_key config) in
+  let app = Optimize.app app in
+  let key = (app.name, config_key config ^ Optimize.key_suffix ()) in
   match Hashtbl.find_opt analysis_cache key with
   | Some r ->
       Apex_telemetry.Counter.incr "dse.analysis_cache_hits";
@@ -74,6 +75,7 @@ let make name dp patterns =
 let baseline () = make "PE Base" (Library.baseline ()) []
 
 let pe1 (app : Apps.t) =
+  let app = Optimize.app app in
   make "PE 1" (Library.subset ~ops:(Library.ops_of_graph app.graph)) []
 
 let merge_into dp patterns =
@@ -85,6 +87,7 @@ let merge_into dp patterns =
     (fun () -> List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns)
 
 let specialized ?(config = default_mining) (app : Apps.t) ~n_subgraphs =
+  let app = Optimize.app app in
   let ranked = analysis_of ~config app in
   let patterns =
     List.filteri (fun i _ -> i < n_subgraphs) (interesting_patterns ranked)

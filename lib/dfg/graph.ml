@@ -85,7 +85,17 @@ module Builder = struct
     Array.blit b.buf 0 nb 0 b.len;
     b.buf <- nb
 
+  (* single normalization point: every graph built through Builder has
+     in-range literals, so the interpreter, the analysis domains and the
+     SMT encodings never see an out-of-range constant *)
+  let normalize_op (op : Op.t) =
+    match op with
+    | Op.Const v -> Op.Const (v land 0xffff)
+    | Op.Lut tt -> Op.Lut (tt land 0xff)
+    | _ -> op
+
   let add b op args =
+    let op = normalize_op op in
     if Array.length args <> Op.arity op then
       invalid_arg
         (Printf.sprintf "Builder.add: %s expects %d args, got %d"

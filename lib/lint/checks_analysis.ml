@@ -1,0 +1,88 @@
+(* Semantic DFG lint backed by the abstract-interpretation fact base:
+   dead mux arms, decided predicates, saturating shift amounts and
+   structurally duplicate pure nodes.  These are WARNINGS, not errors —
+   the graph is well-formed, it just carries provably redundant
+   hardware that the optimizer (or the author) should remove.
+
+   The analysis assumes a valid graph, so this checker refuses corrupt
+   input (the structural APX00x checkers already report it). *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module D = Diagnostic
+module Absint = Apex_analysis.Absint
+module Itv = Apex_analysis.Itv
+
+let run (g : G.t) =
+  match G.validate g with
+  | Error _ -> []
+  | Ok () ->
+      let facts = Absint.analyze g in
+      let diags = ref [] in
+      let emit d = diags := d :: !diags in
+      let seen = Hashtbl.create 64 in
+      Array.iter
+        (fun (nd : G.node) ->
+          let fact a = facts.(a) in
+          (match nd.G.op with
+          | Op.Mux -> (
+              match (fact nd.G.args.(0)).Absint.cst with
+              | Some v ->
+                  emit
+                    (D.warnf ~loc:(D.Node nd.G.id) ~code:"APX100"
+                       "mux select is provably %d: the %s arm (node %d) is dead"
+                       v
+                       (if v = 1 then "false" else "true")
+                       nd.G.args.(if v = 1 then 2 else 1))
+              | None -> ())
+          | Op.Eq | Op.Neq | Op.Slt | Op.Sle | Op.Ult | Op.Ule -> (
+              let decided =
+                match (fact nd.G.id).Absint.cst with
+                | Some v -> Some v
+                | None ->
+                    (* x pred x is decided even though the interval
+                       domain cannot see it *)
+                    if nd.G.args.(0) = nd.G.args.(1) then
+                      Some
+                        (match nd.G.op with
+                        | Op.Eq | Op.Sle | Op.Ule -> 1
+                        | _ -> 0)
+                    else None
+              in
+              match decided with
+              | Some v ->
+                  emit
+                    (D.warnf ~loc:(D.Node nd.G.id) ~code:"APX101"
+                       "%s predicate is always %s" (Op.mnemonic nd.G.op)
+                       (if v = 1 then "true" else "false"))
+              | None -> ())
+          | Op.Shl | Op.Lshr | Op.Ashr ->
+              let lo, _ = Itv.unsigned_bounds (fact nd.G.args.(1)).Absint.itv in
+              if lo >= 16 then
+                emit
+                  (D.warnf ~loc:(D.Node nd.G.id) ~code:"APX102"
+                     "%s amount is provably >= 16 (%s): the shift saturates"
+                     (Op.mnemonic nd.G.op)
+                     (Absint.fact_to_string (fact nd.G.args.(1))))
+          | _ -> ());
+          (* structural duplicates among compute nodes (commutative
+             arguments normalized) *)
+          if Op.is_compute nd.G.op then begin
+            let args =
+              if Op.is_commutative nd.G.op then (
+                let a = Array.copy nd.G.args in
+                Array.sort compare a;
+                a)
+              else nd.G.args
+            in
+            let key = (nd.G.op, args) in
+            match Hashtbl.find_opt seen key with
+            | Some first ->
+                emit
+                  (D.warnf ~loc:(D.Node nd.G.id) ~code:"APX103"
+                     "duplicate pure node: same op and arguments as node %d"
+                     first)
+            | None -> Hashtbl.replace seen key nd.G.id
+          end)
+        (G.nodes g);
+      List.rev !diags

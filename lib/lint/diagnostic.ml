@@ -168,6 +168,16 @@ let catalog =
     { code_info = "APX044"; layer = "rules"; default_severity = Note;
       invariant =
         "complex rules are SAT-proved, not merely tested (budget exhausted)" };
+    (* semantic facts (abstract interpretation) *)
+    { code_info = "APX100"; layer = "analysis"; default_severity = Warning;
+      invariant = "no mux with a provably constant select (dead arm)" };
+    { code_info = "APX101"; layer = "analysis"; default_severity = Warning;
+      invariant = "no predicate that is provably always true / always false" };
+    { code_info = "APX102"; layer = "analysis"; default_severity = Warning;
+      invariant = "no shift whose amount is provably >= 16 (saturates)" };
+    { code_info = "APX103"; layer = "analysis"; default_severity = Warning;
+      invariant =
+        "no structurally duplicate pure node (same op, same arguments)" };
     (* pipelining *)
     { code_info = "APX060"; layer = "pipeline"; default_severity = Error;
       invariant =

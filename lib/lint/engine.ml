@@ -42,6 +42,11 @@ let builtins =
       check =
         (function Dfg { graph; _ } -> Some (Checks_dfg.run graph) | _ -> None)
     };
+    { name = "analysis";
+      check =
+        (function
+        | Dfg { graph; _ } -> Some (Checks_analysis.run graph) | _ -> None)
+    };
     { name = "datapath";
       check =
         (function

@@ -1,0 +1,304 @@
+(* The abstract-interpretation framework: domain laws and transfer
+   soundness for the wrapped-interval and known-bits domains (checked
+   against the concrete 16-bit semantics on random samples), the reduced
+   product, and the full validated-optimizer contract on every built-in
+   application — interpreter equivalence on 256 seeded vectors plus
+   idempotence of a second pass. *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module Sem = Apex_dfg.Sem
+module Interp = Apex_dfg.Interp
+module Apps = Apex_halide.Apps
+module Itv = Apex_analysis.Itv
+module Kbits = Apex_analysis.Kbits
+module Absint = Apex_analysis.Absint
+module Opt = Apex_analysis.Opt
+
+let check = Alcotest.check
+let mask = 0xffff
+let rng () = Random.State.make [| 0xab5; 0x1e57 |]
+
+(* --- wrapped intervals --- *)
+
+let test_itv_basics () =
+  let i = Itv.make 10 20 in
+  Alcotest.(check bool) "mem lo" true (Itv.mem 10 i);
+  Alcotest.(check bool) "mem hi" true (Itv.mem 20 i);
+  Alcotest.(check bool) "not mem" false (Itv.mem 21 i);
+  check Alcotest.int "size" 11 (Itv.size i);
+  (* a segment across the 0xffff -> 0 seam *)
+  let w = Itv.make 0xfff0 0x10 in
+  Alcotest.(check bool) "wrap mem 0" true (Itv.mem 0 w);
+  Alcotest.(check bool) "wrap mem 0xfff5" true (Itv.mem 0xfff5 w);
+  Alcotest.(check bool) "wrap not mem" false (Itv.mem 0x8000 w);
+  check Alcotest.int "wrap size" 33 (Itv.size w);
+  (* whole-circle canonicalization *)
+  Alcotest.(check bool) "full canonical" true (Itv.is_full (Itv.make 5 4));
+  Alcotest.(check bool) "subset" true (Itv.subset i (Itv.make 0 100));
+  Alcotest.(check bool) "wrap subset" true
+    (Itv.subset (Itv.make 0xfff8 3) w);
+  Alcotest.(check bool) "not subset" false (Itv.subset w i)
+
+let test_itv_join () =
+  let j = Itv.join (Itv.make 10 20) (Itv.make 30 40) in
+  Alcotest.(check bool) "join covers a" true (Itv.subset (Itv.make 10 20) j);
+  Alcotest.(check bool) "join covers b" true (Itv.subset (Itv.make 30 40) j);
+  Alcotest.(check bool) "join stays small" true (Itv.size j <= 31);
+  (* joining around the seam keeps the wrapped representation *)
+  let w = Itv.join (Itv.const 0xfffe) (Itv.const 2) in
+  Alcotest.(check bool) "seam join small" true (Itv.size w <= 5);
+  check Alcotest.(pair int int) "unsigned bounds widen on seam" (0, mask)
+    (Itv.unsigned_bounds w);
+  check Alcotest.(pair int int) "signed bounds exact on seam" (-2, 2)
+    (Itv.signed_bounds w)
+
+(* Soundness: for values drawn from the argument segments, the concrete
+   result must lie in the transfer's result segment. *)
+let test_itv_transfer_soundness () =
+  let st = rng () in
+  let sample st i =
+    (i.Itv.lo + Random.State.int st (Itv.size i)) land mask
+  in
+  let rand_itv st =
+    let lo = Random.State.int st 0x10000 in
+    let lo = lo land mask in
+    let hi = (lo + Random.State.int st 0x200) land mask in
+    Itv.make lo hi
+  in
+  let binops =
+    [ ("add", Itv.add, Op.Add); ("sub", Itv.sub, Op.Sub);
+      ("mul", Itv.mul, Op.Mul); ("and", Itv.logand, Op.And);
+      ("or", Itv.logor, Op.Or); ("xor", Itv.logxor, Op.Xor);
+      ("smax", Itv.smax, Op.Smax); ("smin", Itv.smin, Op.Smin);
+      ("umax", Itv.umax, Op.Umax); ("umin", Itv.umin, Op.Umin);
+      ("shl", Itv.shl, Op.Shl); ("lshr", Itv.lshr, Op.Lshr);
+      ("ashr", Itv.ashr, Op.Ashr) ]
+  in
+  for _ = 1 to 400 do
+    let a = rand_itv st and b = rand_itv st in
+    let va = sample st a and vb = sample st b in
+    List.iter
+      (fun (name, f, op) ->
+        let r = Sem.eval op [| va; vb |] in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s(%#x,%#x) in transfer result" name va vb)
+          true
+          (Itv.mem r (f a b)))
+      binops;
+    Alcotest.(check bool) "not sound" true
+      (Itv.mem (Sem.eval Op.Not [| va |]) (Itv.lognot a));
+    Alcotest.(check bool) "abs sound" true
+      (Itv.mem (Sem.eval Op.Abs [| va |]) (Itv.abs a))
+  done
+
+let test_itv_decided () =
+  let lo = Itv.make 0 5 and hi = Itv.make 10 20 in
+  check Alcotest.(option bool) "ult decided" (Some true)
+    (Itv.ult_decided lo hi);
+  check Alcotest.(option bool) "ule decided false" (Some false)
+    (Itv.ule_decided hi lo);
+  check Alcotest.(option bool) "overlap undecided" None
+    (Itv.ult_decided (Itv.make 0 15) hi);
+  check Alcotest.(option bool) "eq on disjoint" (Some false)
+    (Itv.eq_decided lo hi);
+  check Alcotest.(option bool) "eq singleton" (Some true)
+    (Itv.eq_decided (Itv.const 7) (Itv.const 7));
+  (* signed order: 0xffff is -1, below any non-negative value *)
+  check Alcotest.(option bool) "slt signed" (Some true)
+    (Itv.slt_decided (Itv.const 0xffff) (Itv.make 0 10))
+
+(* --- known bits --- *)
+
+(* abstraction of a value with some positions forgotten *)
+let kb_of st v =
+  let unknown = Random.State.int st 0x10000 in
+  { Kbits.zeros = lnot v land mask land lnot unknown;
+    ones = v land lnot unknown }
+
+let test_kbits_basics () =
+  check Alcotest.(option int) "const round-trip" (Some 0xbeef)
+    (Kbits.is_const (Kbits.const 0xbeef));
+  Alcotest.(check bool) "mem" true (Kbits.mem 0b1010 (Kbits.const 0b1010));
+  let j = Kbits.join (Kbits.const 0b1100) (Kbits.const 0b1010) in
+  check Alcotest.int "join keeps agreement" 0b1000 j.Kbits.ones;
+  Alcotest.(check bool) "join zeros agree" true
+    (j.Kbits.zeros land 0b0110 = 0 && j.Kbits.zeros land 0b0001 <> 0);
+  check Alcotest.(option (pair int int)) "meet conflict" None
+    (Option.map
+       (fun (k : Kbits.t) -> (k.Kbits.zeros, k.Kbits.ones))
+       (Kbits.meet (Kbits.const 1) (Kbits.const 2)));
+  check Alcotest.int "of_unsigned_range prefix" 0xff00
+    (Kbits.of_unsigned_range 0xff00 0xff3f).Kbits.ones
+
+let test_kbits_transfer_soundness () =
+  let st = rng () in
+  let binops =
+    [ ("and", Kbits.logand, Op.And); ("or", Kbits.logor, Op.Or);
+      ("xor", Kbits.logxor, Op.Xor); ("add", Kbits.add, Op.Add);
+      ("sub", Kbits.sub, Op.Sub); ("mul", Kbits.mul, Op.Mul);
+      ("shl", Kbits.shl, Op.Shl); ("lshr", Kbits.lshr, Op.Lshr);
+      ("ashr", Kbits.ashr, Op.Ashr) ]
+  in
+  for _ = 1 to 400 do
+    let va = Random.State.int st 0x10000
+    and vb = Random.State.int st 0x10000 in
+    let a = kb_of st va and b = kb_of st vb in
+    List.iter
+      (fun (name, f, op) ->
+        let r = Sem.eval op [| va; vb |] in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s(%#x,%#x) consistent with known bits" name va vb)
+          true
+          (Kbits.mem r (f a b)))
+      binops;
+    Alcotest.(check bool) "not sound" true
+      (Kbits.mem (Sem.eval Op.Not [| va |]) (Kbits.lognot a));
+    let k = a in
+    Alcotest.(check bool) "unsigned bounds sound" true
+      (Kbits.unsigned_min k <= va && va <= Kbits.unsigned_max k)
+  done
+
+let test_kbits_add_exact_on_consts () =
+  for a = 0 to 40 do
+    for b = 0 to 40 do
+      let va = a * 1637 land mask and vb = b * 2923 land mask in
+      check
+        Alcotest.(option int)
+        (Printf.sprintf "const add %d+%d" va vb)
+        (Some ((va + vb) land mask))
+        (Kbits.is_const (Kbits.add (Kbits.const va) (Kbits.const vb)))
+    done
+  done
+
+(* --- reduced product --- *)
+
+let test_absint_reduce () =
+  (* singleton interval becomes a constant *)
+  let f =
+    Absint.reduce { Absint.itv = Itv.const 42; kb = Kbits.top; cst = None }
+  in
+  check Alcotest.(option int) "singleton -> cst" (Some 42) f.Absint.cst;
+  check Alcotest.(option int) "singleton -> kb" (Some 42)
+    (Kbits.is_const f.Absint.kb);
+  (* fully-known bits become a constant *)
+  let f =
+    Absint.reduce
+      { Absint.itv = Itv.full; kb = Kbits.const 0x1234; cst = None }
+  in
+  check Alcotest.(option int) "kb -> cst" (Some 0x1234) f.Absint.cst;
+  Alcotest.(check bool) "kb tightens itv" true
+    (Itv.equal f.Absint.itv (Itv.const 0x1234));
+  (* known bits bound the interval *)
+  let f =
+    Absint.reduce
+      { Absint.itv = Itv.full;
+        kb = { Kbits.zeros = 0xff00; ones = 0 };
+        cst = None }
+  in
+  Alcotest.(check bool) "kb bounds itv" true
+    (Itv.subset f.Absint.itv (Itv.make 0 0xff))
+
+let test_absint_transfer_folds () =
+  let const v _ = Absint.of_const v in
+  let f = Absint.transfer Op.Add (fun i -> const (if i = 0 then 3 else 4) i) in
+  check Alcotest.(option int) "3+4" (Some 7) f.Absint.cst;
+  let f = Absint.transfer Op.Ashr (fun i -> const (if i = 0 then 0x8000 else 20) i) in
+  check Alcotest.(option int) "saturating ashr folds" (Some 0xffff)
+    f.Absint.cst
+
+let test_absint_analyze () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let c3 = G.Builder.add0 b (Op.Const 3) in
+  let c4 = G.Builder.add0 b (Op.Const 4) in
+  let s = G.Builder.add2 b Op.Add c3 c4 in
+  let m = G.Builder.add2 b Op.Umin x s in
+  let r = G.Builder.add1 b Op.Reg m in
+  ignore (G.Builder.add1 b (Op.Output "o") r);
+  let g = G.Builder.finish b in
+  let facts = Absint.analyze g in
+  check Alcotest.(option int) "const sum" (Some 7) facts.(s).Absint.cst;
+  (* umin with a constant bounds the result even for an unknown input *)
+  Alcotest.(check bool) "umin bounded" true
+    (Itv.subset facts.(m).Absint.itv (Itv.make 0 7));
+  (* registers cross a cycle boundary: the fact must widen to top *)
+  Alcotest.(check bool) "reg is top" true
+    (Absint.is_top (G.nodes g).(r) facts.(r))
+
+(* --- the optimizer contract on every built-in application --- *)
+
+let all_apps () = Apps.evaluated () @ Apps.unseen ()
+
+let test_opt_apps_equivalent () =
+  let reduced = ref 0 in
+  List.iter
+    (fun (a : Apps.t) ->
+      let r = Opt.run a.Apps.graph in
+      Alcotest.(check bool)
+        (a.Apps.name ^ " validated")
+        true r.Opt.validated;
+      check Alcotest.int
+        (a.Apps.name ^ " no rejected cones")
+        0 r.Opt.stats.Opt.cones_rejected;
+      Alcotest.(check bool)
+        (a.Apps.name ^ " interpreter-equivalent on 256 vectors")
+        true
+        (Opt.equiv_check ~vectors:256 a.Apps.graph r.Opt.graph);
+      if r.Opt.stats.Opt.after_nodes < r.Opt.stats.Opt.before_nodes then
+        incr reduced)
+    (all_apps ());
+  (* the optimizer must actually bite on a few kernels *)
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 3 apps shrink (got %d)" !reduced)
+    true (!reduced >= 3)
+
+let test_opt_idempotent () =
+  List.iter
+    (fun (a : Apps.t) ->
+      let once = Opt.run a.Apps.graph in
+      let twice = Opt.run once.Opt.graph in
+      check Alcotest.int
+        (a.Apps.name ^ " second pass changes nothing")
+        once.Opt.stats.Opt.after_nodes twice.Opt.stats.Opt.after_nodes;
+      check Alcotest.int
+        (a.Apps.name ^ " second pass rewrites nothing")
+        0
+        (twice.Opt.stats.Opt.const_folds + twice.Opt.stats.Opt.identities
+        + twice.Opt.stats.Opt.cse_merged + twice.Opt.stats.Opt.dce_removed))
+    (all_apps ())
+
+let test_opt_emits_counters () =
+  Apex_telemetry.Registry.reset ();
+  Apex_telemetry.Registry.enable ();
+  Fun.protect ~finally:Apex_telemetry.Registry.disable @@ fun () ->
+  ignore (Opt.run (Apps.by_name "camera").Apps.graph);
+  Alcotest.(check bool) "analysis.facts_computed" true
+    (Apex_telemetry.Counter.get "analysis.facts_computed" > 0);
+  Alcotest.(check bool) "analysis.nodes_eliminated" true
+    (Apex_telemetry.Counter.get "analysis.nodes_eliminated" > 0);
+  Alcotest.(check bool) "analysis.cones_proved" true
+    (Apex_telemetry.Counter.get "analysis.cones_proved" > 0)
+
+let () =
+  Alcotest.run "analysis"
+    [ ( "itv",
+        [ Alcotest.test_case "basics" `Quick test_itv_basics;
+          Alcotest.test_case "join" `Quick test_itv_join;
+          Alcotest.test_case "transfer soundness" `Quick
+            test_itv_transfer_soundness;
+          Alcotest.test_case "decided predicates" `Quick test_itv_decided ] );
+      ( "kbits",
+        [ Alcotest.test_case "basics" `Quick test_kbits_basics;
+          Alcotest.test_case "transfer soundness" `Quick
+            test_kbits_transfer_soundness;
+          Alcotest.test_case "exact const add" `Quick
+            test_kbits_add_exact_on_consts ] );
+      ( "absint",
+        [ Alcotest.test_case "reduce" `Quick test_absint_reduce;
+          Alcotest.test_case "transfer folds" `Quick test_absint_transfer_folds;
+          Alcotest.test_case "analyze" `Quick test_absint_analyze ] );
+      ( "opt",
+        [ Alcotest.test_case "apps equivalent" `Quick test_opt_apps_equivalent;
+          Alcotest.test_case "idempotent" `Quick test_opt_idempotent;
+          Alcotest.test_case "telemetry" `Quick test_opt_emits_counters ] ) ]

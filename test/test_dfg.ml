@@ -45,6 +45,26 @@ let test_builder_rejects_forward_ref () =
     (Invalid_argument "Builder.add: add arg id 7 not yet defined") (fun () ->
       ignore (G.Builder.add b Op.Add [| x; 7 |]))
 
+let test_builder_masks_constants () =
+  (* oversized literals are normalized at construction time, so every
+     downstream consumer (interp, analysis, bit-blasting) sees a value
+     that fits the declared width *)
+  let b = G.Builder.create () in
+  let c = G.Builder.add0 b (Op.Const 0x1_0005) in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let s = G.Builder.add2 b Op.Add c x in
+  let t0 = G.Builder.add0 b (Op.Bit_const true) in
+  let l = G.Builder.add3 b (Op.Lut 0x1ff) t0 t0 t0 in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  ignore (G.Builder.add1 b (Op.Bit_output "p") l);
+  let g = G.Builder.finish b in
+  (match (G.nodes g).(c).G.op with
+  | Op.Const v -> check int "const masked to 16 bits" 5 v
+  | op -> Alcotest.failf "expected a const, got %s" (Op.mnemonic op));
+  match (G.nodes g).(l).G.op with
+  | Op.Lut tt -> check int "lut truth table masked to 8 bits" 0xff tt
+  | op -> Alcotest.failf "expected a lut, got %s" (Op.mnemonic op)
+
 let test_interp_conv () =
   let g = conv4 () in
   let env =
@@ -238,6 +258,7 @@ let () =
         [ Alcotest.test_case "builder and validate" `Quick test_builder_validate;
           Alcotest.test_case "rejects bad arity" `Quick test_builder_rejects_bad_arity;
           Alcotest.test_case "rejects forward refs" `Quick test_builder_rejects_forward_ref;
+          Alcotest.test_case "masks constants" `Quick test_builder_masks_constants;
           Alcotest.test_case "induced subgraph" `Quick test_induced;
           Alcotest.test_case "succs and fanout" `Quick test_succs_fanout;
           Alcotest.test_case "op histogram" `Quick test_histogram;

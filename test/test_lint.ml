@@ -358,6 +358,58 @@ let test_pipe_negative_chain () =
   assert_emits "negative register chain" "APX065"
     (Apex_lint.Checks_pipeline.run_app mapped bad)
 
+(* --- semantic analysis checker (abstract-interpretation backed) --- *)
+
+let test_analysis_clean () =
+  assert_clean "valid graph" (Apex_lint.Checks_analysis.run (good_graph ()))
+
+let test_analysis_rejects_corrupt () =
+  (* the analysis assumes a valid graph; corrupt input belongs to the
+     structural checkers *)
+  assert_clean "corrupt graph skipped"
+    (Apex_lint.Checks_analysis.run
+       (G.of_nodes_unchecked
+          [| node 0 (Op.Input "x") [||]; node 1 Op.Add [| 0 |] |]))
+
+let test_analysis_dead_mux_arm () =
+  let b = G.Builder.create () in
+  let s = G.Builder.add0 b (Op.Bit_const true) in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let m = G.Builder.add3 b Op.Mux s x y in
+  ignore (G.Builder.add1 b (Op.Output "o") m);
+  assert_emits "constant mux select" "APX100"
+    (Apex_lint.Checks_analysis.run (G.Builder.finish b))
+
+let test_analysis_decided_predicate () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let p = G.Builder.add2 b Op.Slt x x in
+  ignore (G.Builder.add1 b (Op.Bit_output "p") p);
+  assert_emits "x < x is always false" "APX101"
+    (Apex_lint.Checks_analysis.run (G.Builder.finish b))
+
+let test_analysis_saturating_shift () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let k = G.Builder.add0 b (Op.Const 20) in
+  let s = G.Builder.add2 b Op.Shl x k in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  assert_emits "shift by 20 saturates" "APX102"
+    (Apex_lint.Checks_analysis.run (G.Builder.finish b))
+
+let test_analysis_duplicate_node () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let a1 = G.Builder.add2 b Op.Add x y in
+  (* commutative arguments are normalized, so y + x duplicates x + y *)
+  let a2 = G.Builder.add2 b Op.Add y x in
+  let m = G.Builder.add2 b Op.Mul a1 a2 in
+  ignore (G.Builder.add1 b (Op.Output "o") m);
+  assert_emits "y + x duplicates x + y" "APX103"
+    (Apex_lint.Checks_analysis.run (G.Builder.finish b))
+
 (* --- engine, phase boundaries, catalog and the full-flow contract --- *)
 
 let bad_dfg () =
@@ -370,7 +422,9 @@ let test_engine_dispatch () =
         Engine.Dfg { label = "bad"; graph = bad_dfg () } ]
   in
   check Alcotest.int "two artifacts" 2 report.Engine.artifacts;
-  check Alcotest.int "two checks" 2 report.Engine.checks;
+  (* each Dfg artifact is visited by the structural and the analysis
+     checker *)
+  check Alcotest.int "four checks" 4 report.Engine.checks;
   Alcotest.(check bool) "findings present" true (report.Engine.findings <> []);
   Alcotest.(check bool) "findings on bad only" true
     (List.for_all
@@ -434,12 +488,33 @@ let test_catalog_complete () =
     [ "APX001"; "APX002"; "APX003"; "APX004"; "APX005"; "APX006"; "APX007";
       "APX008"; "APX020"; "APX022"; "APX023"; "APX024"; "APX025"; "APX026";
       "APX027"; "APX028"; "APX040"; "APX041"; "APX042"; "APX043"; "APX060";
-      "APX061"; "APX063"; "APX064"; "APX065" ]
+      "APX061"; "APX063"; "APX064"; "APX065"; "APX100"; "APX101"; "APX102";
+      "APX103" ]
 
 let test_all_apps_clean () =
+  (* raw kernels: structurally clean; the semantic analysis checkers may
+     legitimately warn about provable redundancy (camera's clamp chain),
+     but only with APX1xx codes *)
   let report = Apex.Lint_run.run (Apex.Lint_run.all_apps ()) in
   check Alcotest.int "no errors on built-in apps" 0 (Engine.errors report);
-  check Alcotest.int "no warnings on built-in apps" 0 (Engine.warnings report);
+  List.iter
+    (fun (f : Engine.finding) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "only analysis warnings on raw kernels (got %s)"
+           f.Engine.diag.Diag.code)
+        true
+        (String.length f.Engine.diag.Diag.code = 6
+        && String.sub f.Engine.diag.Diag.code 0 4 = "APX1"))
+    report.Engine.findings
+
+let test_all_apps_clean_optimized () =
+  (* the `apex lint --all --optimize --werror` contract `make ci` relies
+     on: optimized kernels are free of semantic redundancy too *)
+  Apex.Optimize.enable ();
+  Fun.protect ~finally:Apex.Optimize.disable @@ fun () ->
+  let report = Apex.Lint_run.run (Apex.Lint_run.all_apps ()) in
+  check Alcotest.int "no errors on optimized apps" 0 (Engine.errors report);
+  check Alcotest.int "no warnings on optimized apps" 0 (Engine.warnings report);
   check Alcotest.int "werror-clean" 0 (Engine.exit_code ~werror:true report)
 
 let () =
@@ -483,10 +558,23 @@ let () =
           Alcotest.test_case "unbalanced" `Quick test_pipe_unbalanced;
           Alcotest.test_case "depth" `Quick test_pipe_depth;
           Alcotest.test_case "negative chain" `Quick test_pipe_negative_chain ] );
+      ( "analysis",
+        [ Alcotest.test_case "clean" `Quick test_analysis_clean;
+          Alcotest.test_case "rejects corrupt" `Quick
+            test_analysis_rejects_corrupt;
+          Alcotest.test_case "dead mux arm" `Quick test_analysis_dead_mux_arm;
+          Alcotest.test_case "decided predicate" `Quick
+            test_analysis_decided_predicate;
+          Alcotest.test_case "saturating shift" `Quick
+            test_analysis_saturating_shift;
+          Alcotest.test_case "duplicate node" `Quick
+            test_analysis_duplicate_node ] );
       ( "engine",
         [ Alcotest.test_case "dispatch" `Quick test_engine_dispatch;
           Alcotest.test_case "werror" `Quick test_engine_werror;
           Alcotest.test_case "telemetry counters" `Quick test_engine_counters;
           Alcotest.test_case "phase boundary" `Quick test_check_phase_boundary;
           Alcotest.test_case "catalog" `Quick test_catalog_complete;
-          Alcotest.test_case "all apps clean" `Quick test_all_apps_clean ] ) ]
+          Alcotest.test_case "all apps clean" `Quick test_all_apps_clean;
+          Alcotest.test_case "all apps clean (optimized)" `Quick
+            test_all_apps_clean_optimized ] ) ]

@@ -266,6 +266,61 @@ let prop_bv_solver_path =
       | Apex_smt.Sat.Sat -> Bv.model_of ctx out = Sem.eval op args
       | _ -> false)
 
+(* Exhaustive boundary cross-check: every operation with combinational
+   semantics, every combination of boundary arguments (the values where
+   wrap-around, sign and shift saturation change behaviour), Sem vs the
+   bit-blasted encoding at the full 16-bit width.  Constant arguments
+   fold at the gate level, so no solving is involved and the sweep is
+   cheap; a mismatch names the offending operation and arguments. *)
+
+let boundary_words = [ 0; 1; 0x7fff; 0x8000; 0xffff ]
+
+let test_bv_sem_boundary_exhaustive () =
+  let check_op op args =
+    let ctx = Bv.create ~word_width:16 () in
+    let bvs =
+      Array.mapi
+        (fun i v ->
+          let width =
+            match (Op.input_widths op).(i) with Op.Word -> 16 | Op.Bit -> 1
+          in
+          Bv.const ctx ~width v)
+        args
+    in
+    let expected = Sem.eval op args in
+    let got = Bv.model_of ctx (Bv.eval_op ctx op bvs) in
+    if got <> expected then
+      Alcotest.failf
+        "%s disagrees with the bit-vector semantics on [%s]: Sem %#x, Bv %#x"
+        (Op.mnemonic op)
+        (String.concat "; "
+           (Array.to_list (Array.map (Printf.sprintf "%#x") args)))
+        expected got
+  in
+  let rec combos = function
+    | [] -> [ [] ]
+    | w :: rest ->
+        let tails = combos rest in
+        let vals =
+          match (w : Op.width) with
+          | Op.Word -> boundary_words
+          | Op.Bit -> [ 0; 1 ]
+        in
+        List.concat_map (fun v -> List.map (fun t -> v :: t) tails) vals
+  in
+  let ops =
+    Op.all_compute
+    @ [ Op.Lut 0x00; Op.Lut 0xff; Op.Lut 0x96; Op.Reg; Op.Reg_file 4;
+        Op.Bit_const false; Op.Bit_const true ]
+    @ List.map (fun v -> Op.Const v) boundary_words
+  in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun args -> check_op op (Array.of_list args))
+        (combos (Array.to_list (Op.input_widths op))))
+    ops
+
 let test_equivalence_commutative () =
   (* x + y == y + x is UNSAT to refute *)
   let ctx = Bv.create ~word_width:8 () in
@@ -416,7 +471,9 @@ let () =
           Alcotest.test_case "conflict budget" `Quick test_conflict_budget ] );
       ("sat-properties", sat_props);
       ( "bv",
-        [ Alcotest.test_case "commutativity proved" `Quick test_equivalence_commutative;
+        [ Alcotest.test_case "boundary exhaustive vs Sem" `Quick
+            test_bv_sem_boundary_exhaustive;
+          Alcotest.test_case "commutativity proved" `Quick test_equivalence_commutative;
           Alcotest.test_case "non-commutativity cex" `Quick test_equivalence_noncommutative;
           Alcotest.test_case "8-bit mul distributivity" `Quick test_mul_equivalence_8bit ] );
       ("bv-properties", bv_props);
