@@ -5,6 +5,9 @@ CI_J4 := /tmp/apex-ci-jobs4.json
 CI_COLD := /tmp/apex-ci-cold.json
 CI_WARM := /tmp/apex-ci-warm.json
 CI_CACHE := /tmp/apex-ci-cache
+CI_DSE_BASE := /tmp/apex-ci-dse-base.json
+CI_DSE_FAULT := /tmp/apex-ci-dse-fault.json
+CI_FAULT_CACHE := /tmp/apex-ci-fault-cache
 
 .PHONY: all build test bench ci clean
 
@@ -61,8 +64,53 @@ ci: build test
 	APEX_CACHE_DIR=$(CI_CACHE) dune exec bin/apex_cli.exe -- profile --all --trace=$(CI_WARM) > /dev/null
 	dune exec bin/apex_cli.exe -- trace-check $(CI_WARM) --require exec.cache_hits
 	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_COLD) $(CI_WARM)
+	$(MAKE) ci-faults
+
+# Fault-injection smoke matrix: each registered fault class, injected
+# into a real `apex dse camera` run, must (a) exit 0 — the degradation
+# ladder recovered — and (b) leave a typed outcome in the report
+# (guard.faults_injected plus the class's own marker).  Where the
+# ladder guarantees *identical results* (a fault that only costs work:
+# SMT exhaustion degrades a proved rule to tested-only, a crashed or
+# corrupted cache entry is recomputed, a dead pool task is re-executed
+# inline) the faulted report must also be results-identical to the
+# fault-free baseline.  pair-eval and deadline legitimately change
+# results (a pair is skipped / a search truncated), so those two assert
+# only graceful degradation, not equality.
+# Site placement matters: smt-exhaust, pool-worker and deadline need
+# --no-cache (a warm cache skips synthesis and mining entirely);
+# cache-corrupt needs a *warm* cache (it fires on the first hit);
+# store-crash needs a *cold* one (it fires on the first write).
+.PHONY: ci-faults
+ci-faults:
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --trace=$(CI_DSE_BASE) > /dev/null
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --inject-fault smt-exhaust --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.degraded
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --jobs 4 --inject-fault pool-worker --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require exec.pool_task_retries
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	rm -rf $(CI_FAULT_CACHE)
+	APEX_CACHE_DIR=$(CI_FAULT_CACHE) dune exec bin/apex_cli.exe -- dse camera --inject-fault store-crash --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.degraded
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	APEX_CACHE_DIR=$(CI_FAULT_CACHE) dune exec bin/apex_cli.exe -- dse camera --inject-fault cache-corrupt --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require exec.cache_corrupt
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	APEX_CACHE_DIR=$(CI_FAULT_CACHE) dune exec bin/apex_cli.exe -- dse camera --inject-fault pair-eval --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.skipped
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --inject-fault deadline:2000 --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.degraded
+	rm -rf $(CI_FAULT_CACHE)
 
 clean:
 	dune clean
 	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
-	rm -rf $(CI_CACHE)
+	rm -f $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE)

@@ -721,6 +721,17 @@ let () =
           trace_file := Some (String.sub a 8 (String.length a - 8));
           false
         end
+        else if String.length a > 11 && String.sub a 0 11 = "--deadline=" then begin
+          (* global wall-clock budget: a bench run past its slot degrades
+             (truncated mining, greedy merges, skipped pairs) instead of
+             hanging the harness *)
+          let s = String.sub a 11 (String.length a - 11) in
+          (match float_of_string_opt s with
+          | Some sec when sec > 0.0 ->
+              Apex_guard.set_root (Apex_guard.Budget.v ~deadline_s:sec ())
+          | _ -> invalid_arg ("bench: bad --deadline value " ^ s));
+          false
+        end
         else true)
       args
   in

@@ -120,12 +120,82 @@ let no_cache_arg =
   in
   Arg.(value & flag & info [ "no-cache" ] ~doc)
 
-let exec_t =
-  let setup jobs no_cache =
-    Option.iter Apex_exec.Pool.set_jobs jobs;
-    if no_cache then Apex_exec.Store.set_enabled false
+(* --- resource governance: --deadline / --phase-deadline /
+   --inject-fault, shared by every flow subcommand via [exec_t].
+   Evaluated before the run function, so the root budget and any armed
+   fault are in place before the first phase ticks. *)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the whole run, in seconds. Phases that overrun \
+     degrade gracefully (best-so-far results, flagged as degraded in the \
+     telemetry report) instead of aborting."
   in
-  Term.(const setup $ jobs_arg $ no_cache_arg)
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SEC" ~doc)
+
+let phase_deadline_arg =
+  let doc =
+    "Per-phase wall-clock budget as PHASE=SEC (repeatable; phases: mining, \
+     merging, synthesis, evaluate, analysis). Tightens the global \
+     --deadline for that phase only."
+  in
+  Arg.(
+    value & opt_all string []
+    & info [ "phase-deadline" ] ~docv:"PHASE=SEC" ~doc)
+
+let inject_fault_arg =
+  let doc =
+    "Deterministically inject one fault at the $(i,N)th occurrence of a \
+     registered site (SITE or SITE:N; see DESIGN.md \"Degradation \
+     semantics\"), to exercise the recovery ladders. The APEX_FAULT \
+     environment variable is the equivalent setting."
+  in
+  Arg.(
+    value & opt (some string) None
+    & info [ "inject-fault" ] ~docv:"SITE[:N]" ~doc)
+
+let known_phases = [ "mining"; "merging"; "synthesis"; "evaluate"; "analysis" ]
+
+let setup_guard deadline phase_deadlines fault =
+  (match deadline with
+  | Some s when s > 0.0 ->
+      Apex_guard.set_root (Apex_guard.Budget.v ~deadline_s:s ())
+  | Some s -> invalid_arg (Printf.sprintf "--deadline: %g is not positive" s)
+  | None -> ());
+  List.iter
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i -> (
+          let phase = String.sub spec 0 i in
+          let secs = String.sub spec (i + 1) (String.length spec - i - 1) in
+          if not (List.mem phase known_phases) then
+            invalid_arg
+              (Printf.sprintf "--phase-deadline: unknown phase %S (phases: %s)"
+                 phase
+                 (String.concat ", " known_phases));
+          match float_of_string_opt secs with
+          | Some s when s > 0.0 -> Apex_guard.set_phase_deadline phase s
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "--phase-deadline: malformed seconds %S in %S"
+                   secs spec))
+      | None ->
+          invalid_arg
+            (Printf.sprintf "--phase-deadline: expected PHASE=SEC, got %S" spec))
+    phase_deadlines;
+  match fault with
+  | Some spec -> Apex_guard.Fault.arm spec
+  | None -> Apex_guard.Fault.arm_from_env ()
+
+let exec_t =
+  let setup jobs no_cache deadline phase_deadlines fault =
+    Option.iter Apex_exec.Pool.set_jobs jobs;
+    if no_cache then Apex_exec.Store.set_enabled false;
+    setup_guard deadline phase_deadlines fault
+  in
+  Term.(
+    const setup $ jobs_arg $ no_cache_arg $ deadline_arg $ phase_deadline_arg
+    $ inject_fault_arg)
 
 (* --- apps --- *)
 
@@ -433,7 +503,7 @@ let profile_cmd =
     in
     Format.printf "profile %s on %s: %d mined subgraphs, %d rules@." a.Apps.name
       v.name (List.length ranked) (List.length v.rules);
-    (match (pp, pp_ref) with
+    (match (Apex.Dse.mapped_opt pp, Apex.Dse.mapped_opt pp_ref) with
     | Some pp, Some pr ->
         Format.printf
           "  %.2f runs/ms/mm^2 vs %.2f on %s (%.2fx); %d PEs, %d cycles/run@."
@@ -445,15 +515,19 @@ let profile_cmd =
     | Some pp, None ->
         Format.printf "  %.2f runs/ms/mm^2; %d PEs, %d cycles/run@."
           pp.Apex.Metrics.perf_per_mm2 pp.pnr.pm.n_pes pp.cycles_per_run
-    | None, _ -> Format.printf "  unmappable on %s@." v.name);
+    | None, _ ->
+        Format.printf "  %s on %s@." (Apex.Dse.pair_status pp) v.name);
     (* machine-readable record of what the run *computed*, as opposed
        to how it ran — `apex report-diff --results-only` compares
        exactly this section across cold/warm cache runs, whose counter
        and span sections legitimately differ *)
-    let pp_fields = function
-      | None -> [ ("mappable", Json.Bool false) ]
+    let pp_fields r =
+      let status = ("status", Json.String (Apex.Dse.pair_status r)) in
+      match Apex.Dse.mapped_opt r with
+      | None -> [ status; ("mappable", Json.Bool false) ]
       | Some (pp : Apex.Metrics.post_pipelining) ->
-          [ ("mappable", Json.Bool true);
+          [ status;
+            ("mappable", Json.Bool true);
             ("n_pes", Json.Int pp.pnr.pm.n_pes);
             ("cycles_per_run", Json.Int pp.cycles_per_run);
             ("pe_stages", Json.Int pp.pe_stages);
@@ -520,6 +594,135 @@ let profile_cmd =
     Term.(
       const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ apps $ all
       $ variant)
+
+(* --- dse: the (variant x application) evaluation fleet --- *)
+
+let dse_cmd =
+  let row_json ((spec, (v : Apex.Variants.t), (a : Apps.t)), r) =
+    let fields =
+      [ ("app", Json.String a.Apps.name);
+        ("variant", Json.String v.name);
+        ("spec", Json.String spec);
+        ("status", Json.String (Apex.Dse.pair_status r)) ]
+    in
+    let fields =
+      match Apex.Dse.mapped_opt r with
+      | None -> fields
+      | Some (pp : Apex.Metrics.post_pipelining) ->
+          fields
+          @ [ ("n_pes", Json.Int pp.pnr.pm.n_pes);
+              ("cycles_per_run", Json.Int pp.cycles_per_run);
+              ("pe_stages", Json.Int pp.pe_stages);
+              ("period_ps", Json.Float pp.period_ps);
+              ("total_area", Json.Float pp.pnr.total_area);
+              ("perf_per_mm2", Json.Float pp.perf_per_mm2) ]
+    in
+    Json.Obj fields
+  in
+  let run () trace check optimize apps all variants json =
+    set_check check;
+    set_optimize optimize;
+    let apps =
+      if all then Apps.evaluated ()
+      else if apps = [] then
+        invalid_arg "dse: name at least one application, or pass --all"
+      else List.map app_by_name apps
+    in
+    (* the fleet is the whole point: telemetry is always on, so the
+       degradation outcome counters land in the report *)
+    Registry.enable ();
+    Registry.reset ();
+    (* variant construction is serial (shared memo tables); one
+       construction failure is a configuration error and aborts, unlike
+       per-pair evaluation failures below, which never do *)
+    let specs_for (a : Apps.t) =
+      match variants with
+      | [] -> [ "base"; "spec:" ^ a.Apps.name ]
+      | vs -> vs
+    in
+    let pairs =
+      List.concat_map
+        (fun (a : Apps.t) ->
+          List.map (fun spec -> (spec, Apex.Dse.variant_for spec, a))
+            (specs_for a))
+        apps
+    in
+    let results =
+      Apex.Dse.evaluate_pairs (List.map (fun (_, v, a) -> (v, a)) pairs)
+    in
+    let rows = List.combine pairs results in
+    let count status =
+      List.length
+        (List.filter (fun (_, r) -> Apex.Dse.pair_status r = status) rows)
+    in
+    if json then
+      print_endline (Json.to_string (Json.List (List.map row_json rows)))
+    else begin
+      List.iter
+        (fun ((_, (v : Apex.Variants.t), (a : Apps.t)), r) ->
+          match Apex.Dse.mapped_opt r with
+          | Some (pp : Apex.Metrics.post_pipelining) ->
+              Format.printf
+                "dse %-10s on %-12s %8.2f runs/ms/mm^2  %3d PEs  %5d \
+                 cycles/run@."
+                a.Apps.name v.name pp.Apex.Metrics.perf_per_mm2 pp.pnr.pm.n_pes
+                pp.cycles_per_run
+          | None ->
+              Format.printf "dse %-10s on %-12s %s@." a.Apps.name v.name
+                (Apex.Dse.pair_status r))
+        rows;
+      Format.printf
+        "dse: %d pairs — %d mapped, %d unmappable, %d skipped, %d failed@."
+        (List.length rows) (count "mapped") (count "unmappable")
+        (count "skipped") (count "failed")
+    end;
+    let snap = Registry.snapshot () in
+    if trace <> None then Format.printf "@.%a" Report.pp snap;
+    match trace_report_path trace with
+    | None -> ()
+    | Some path -> (
+        match
+          Report.write_file ~results:(Json.List (List.map row_json rows)) path
+            snap
+        with
+        | () -> Format.eprintf "telemetry: JSON report written to %s@." path
+        | exception Sys_error m ->
+            Format.eprintf "telemetry: cannot write JSON report: %s@." m)
+  in
+  let apps =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"APP" ~doc:"Applications to evaluate (see `apex apps`).")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Evaluate all six evaluated applications (Table 1).")
+  in
+  let variants =
+    let doc =
+      "PE variant to include in the fleet (repeatable; default: base and \
+       spec:<app> per application)."
+    in
+    Arg.(value & opt_all string [] & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print the per-pair results as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "dse"
+       ~doc:
+         "Evaluate a fleet of (variant, application) pairs — mapping, PnR, \
+          pipelining — under the resource governor. Per-pair failures are \
+          isolated (skipped/failed status per pair, exit 0 for the fleet); \
+          deadlines and injected faults degrade phases to their documented \
+          fallbacks, flagged as guard.outcome.* in the telemetry report.")
+    Term.(
+      const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ apps $ all
+      $ variants $ json)
 
 (* --- lint: run the checker registry over the flow's artifacts --- *)
 
@@ -815,16 +1018,36 @@ let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; mine_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd;
-      verify_cmd; compile_cmd; profile_cmd; lint_cmd; trace_check_cmd;
-      cache_cmd; report_diff_cmd ]
+      verify_cmd; compile_cmd; profile_cmd; dse_cmd; lint_cmd;
+      trace_check_cmd; cache_cmd; report_diff_cmd ]
 
 let () =
-  (* user errors (bad variant spec, unmappable app) deserve a clean
-     one-line message, not cmdliner's "internal error" banner *)
+  (* Error hygiene: every anticipated failure class gets a one-line
+     structured error and its own exit code, never cmdliner's "internal
+     error" banner or a backtrace.
+       1  unmappable        the variant's rule set cannot cover the app
+       2  invalid-argument  bad flag value, unknown app/variant, misuse
+       3  io-error          filesystem trouble (reports, cache, inputs)
+       4  cancelled         an uncaught budget cancellation
+       5  fault-injected    an injected fault escaped every recovery
+                            ladder (a guard bug by definition)
+     When --json is anywhere on the command line the error is printed
+     as a JSON object on stdout instead, so scripted callers parse one
+     format for both success and failure. *)
+  let fail code kind msg =
+    if Array.exists (String.equal "--json") Sys.argv then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("error", Json.String kind);
+                ("message", Json.String msg);
+                ("exit_code", Json.Int code) ]))
+    else Format.eprintf "apex: %s: %s@." kind msg;
+    exit code
+  in
   try exit (Cmd.eval ~catch:false main) with
-  | Invalid_argument msg | Failure msg ->
-      Format.eprintf "apex: %s@." msg;
-      exit 2
-  | Apex_mapper.Cover.Unmappable msg ->
-      Format.eprintf "apex: unmappable: %s@." msg;
-      exit 1
+  | Invalid_argument msg | Failure msg -> fail 2 "invalid-argument" msg
+  | Sys_error msg -> fail 3 "io-error" msg
+  | Apex_guard.Cancelled msg -> fail 4 "cancelled" msg
+  | Apex_guard.Fault.Injected site -> fail 5 "fault-injected" site
+  | Apex_mapper.Cover.Unmappable msg -> fail 1 "unmappable" msg

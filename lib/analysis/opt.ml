@@ -38,7 +38,12 @@ type stats = {
   iterations : int;
 }
 
-type result = { graph : G.t; stats : stats; validated : bool }
+type result = {
+  graph : G.t;
+  stats : stats;
+  validated : bool;
+  outcome : Apex_guard.Outcome.t;
+}
 
 (* --- per-cone SMT validation --- *)
 
@@ -222,6 +227,7 @@ let rewrite_pass ~validate (g : G.t) (facts : Absint.fact array) (pc : pass_coun
   let changed = ref false in
   Array.iter
     (fun (nd : G.node) ->
+      Apex_guard.tick ();
       let args' = Array.map (fun a -> remap.(a)) nd.G.args in
       let emit () =
         (* structural CSE over pure nodes, commutative args normalized *)
@@ -312,17 +318,27 @@ let equiv_check ?(vectors = 64) (g : G.t) (g' : G.t) =
   with _ -> false
 
 let run ?(validate = true) ?(vectors = 64) (g : G.t) =
+  Apex_guard.with_phase "analysis" @@ fun () ->
   let pc = { folds = 0; idents = 0; cse = 0; proved = 0; rejected = 0 } in
   let cur = ref g in
   let iterations = ref 0 in
   let continue_ = ref true in
-  while !continue_ && !iterations < 8 do
-    incr iterations;
-    let facts = Absint.analyze !cur in
-    let g', changed = rewrite_pass ~validate !cur facts pc in
-    cur := g';
-    continue_ := changed
-  done;
+  let outcome = ref Apex_guard.Outcome.Exact in
+  (* anytime fixpoint: a budget trip mid-pass abandons that pass's
+     half-built graph and keeps the last completed one — every rewrite
+     in it was individually discharged, so the tail below (DCE plus the
+     differential check) still runs on a sound graph *)
+  (try
+     while !continue_ && !iterations < 8 do
+       incr iterations;
+       let facts = Absint.analyze !cur in
+       let g', changed = rewrite_pass ~validate !cur facts pc in
+       cur := g';
+       continue_ := changed
+     done
+   with Apex_guard.Cancelled msg ->
+     outcome :=
+       Apex_guard.Outcome.Degraded (Apex_guard.reason_of_message msg));
   let g', dce_removed = dce !cur in
   let validated = equiv_check ~vectors g g' in
   let graph = if validated then g' else g in
@@ -335,9 +351,11 @@ let run ?(validate = true) ?(vectors = 64) (g : G.t) =
   Counter.add "analysis.cones_proved" pc.proved;
   Counter.add "analysis.cones_rejected" pc.rejected;
   Counter.add "analysis.nodes_eliminated" (max 0 (before_nodes - after_nodes));
+  Apex_guard.Outcome.record ~phase:"analysis" !outcome;
   {
     graph;
     validated;
+    outcome = !outcome;
     stats =
       {
         before_nodes;

@@ -109,19 +109,61 @@ let pe_ip3 () =
 let pe_ml () =
   memo "ml" (fun () -> Variants.domain ~name:"PE ML" ~per_app:2 (ml_apps ()))
 
+type pair_result =
+  | Mapped of Metrics.post_pipelining
+  | Unmappable of string
+  | Skipped of string
+  | Failed of string
+
+let mapped_opt = function Mapped pp -> Some pp | _ -> None
+
+let pair_status = function
+  | Mapped _ -> "mapped"
+  | Unmappable _ -> "unmappable"
+  | Skipped _ -> "skipped"
+  | Failed _ -> "failed"
+
 (* Evaluate (variant, app) pairs on the domain pool.  Variant
    *construction* (memo above) is serial — it feeds shared in-memory
    caches — but evaluation is pure per pair, so the fan-out is safe and
-   results come back in submission order.  [None] marks pairs the rule
-   set cannot cover. *)
+   results come back in submission order.
+
+   Per-pair isolation: one pathological pair must never abort the
+   fleet.  [Unmappable] is the structural verdict (the variant's rule
+   set cannot cover the app — expected for specialized PEs), [Skipped]
+   a budget trip before the pair finished, [Failed] an unexpected
+   per-pair error; the three are counted separately so a report cannot
+   pass a died-silently run off as a coverage result. *)
 let evaluate_pairs ?effort pairs =
   Apex_exec.Pool.map
     (fun ((v : Variants.t), (app : Apps.t)) ->
-      match Metrics.post_pipelining ?effort v app with
-      | pp -> Some pp
-      | exception Apex_mapper.Cover.Unmappable _ ->
+      Apex_guard.with_phase "evaluate" @@ fun () ->
+      match
+        Apex_guard.tick ();
+        Apex_guard.Fault.inject "pair-eval";
+        Metrics.post_pipelining ?effort v app
+      with
+      | pp ->
+          Apex_guard.Outcome.record ~phase:"evaluate" Apex_guard.Outcome.Exact;
+          Mapped pp
+      | exception Apex_mapper.Cover.Unmappable m ->
           Counter.incr "dse.unmappable_pairs";
-          None)
+          Unmappable m
+      | exception Apex_guard.Cancelled msg ->
+          Counter.incr "dse.skipped_pairs";
+          Apex_guard.Outcome.record ~phase:"evaluate"
+            (Apex_guard.Outcome.Skipped (Apex_guard.reason_of_message msg));
+          Skipped msg
+      | exception Apex_guard.Fault.Injected site ->
+          Counter.incr "dse.failed_pairs";
+          Apex_guard.Outcome.record ~phase:"evaluate"
+            (Apex_guard.Outcome.Skipped (Apex_guard.Outcome.Fault site));
+          Failed (Printf.sprintf "injected fault at site %s" site)
+      | exception (Failure m | Invalid_argument m | Sys_error m) ->
+          Counter.incr "dse.failed_pairs";
+          Apex_guard.Outcome.record ~phase:"evaluate"
+            (Apex_guard.Outcome.Skipped (Apex_guard.Outcome.Error m));
+          Failed m)
     pairs
 
 let accepted_variant_forms =

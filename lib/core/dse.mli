@@ -37,15 +37,36 @@ val pe_ip3 : unit -> Variants.t
 val pe_ml : unit -> Variants.t
 (** Machine-learning domain PE. *)
 
+type pair_result =
+  | Mapped of Metrics.post_pipelining  (** full evaluation completed *)
+  | Unmappable of string
+      (** the variant's rule set cannot cover the app — a structural
+          verdict, expected for specialized PEs on foreign apps *)
+  | Skipped of string
+      (** the ambient {!Apex_guard} budget tripped before this pair
+          finished; the rest of the fleet still ran *)
+  | Failed of string
+      (** unexpected per-pair failure, isolated so the fleet survives *)
+
+val mapped_opt : pair_result -> Metrics.post_pipelining option
+(** The metrics when [Mapped], for callers that treat every other
+    class as absence. *)
+
+val pair_status : pair_result -> string
+(** ["mapped"], ["unmappable"], ["skipped"] or ["failed"] — the status
+    tag reports and the CLI print per pair. *)
+
 val evaluate_pairs :
   ?effort:int ->
   (Variants.t * Apex_halide.Apps.t) list ->
-  Metrics.post_pipelining option list
+  pair_result list
 (** Evaluate (variant, application) pairs — mapping, PnR, pipelining —
     on the execution pool ([--jobs] domains), returning results in
-    submission order.  [None] marks pairs the variant's rule set cannot
-    cover.  Variants must already be constructed (construction is
-    serial; it feeds shared memo tables). *)
+    submission order.  Per-pair failures are isolated: one pathological
+    pair yields [Unmappable]/[Skipped]/[Failed] (counted separately as
+    [dse.unmappable_pairs] / [dse.skipped_pairs] / [dse.failed_pairs])
+    and never aborts the fleet.  Variants must already be constructed
+    (construction is serial; it feeds shared memo tables). *)
 
 val variant_for : string -> Variants.t
 (** Lookup by the names used in the benches: "base", "spec:<app>",

@@ -19,6 +19,7 @@
 
 module Counter = Apex_telemetry.Counter
 module Registry = Apex_telemetry.Registry
+module Guard = Apex_guard
 
 let clamp n = max 1 (min 64 n)
 
@@ -39,10 +40,26 @@ let set_jobs n = override := Some (clamp n)
 (* true while this domain is executing pool tasks: nested maps go serial *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+(* Task dispatch with the pool-worker fault site: the armed occurrence
+   raises before the task body runs, and the runner re-executes the
+   task inline exactly once.  Real task exceptions are untouched — they
+   keep the deterministic lowest-index delivery below. *)
+let run_task f x =
+  match
+    Guard.Fault.inject "pool-worker";
+    f x
+  with
+  | r -> r
+  | exception Guard.Fault.Injected site ->
+      Counter.incr "exec.pool_task_retries";
+      Guard.Outcome.record ~phase:"pool"
+        (Guard.Outcome.Degraded (Guard.Outcome.Fault site));
+      f x
+
 let serial_map f xs =
   Counter.incr "exec.pool_batches";
   Counter.add "exec.pool_tasks" (Array.length xs);
-  Array.map f xs
+  Array.map (run_task f) xs
 
 let parallel_map ~runners f xs =
   let n = Array.length xs in
@@ -56,6 +73,7 @@ let parallel_map ~runners f xs =
   in
   let next = Atomic.make 0 in
   let ctx = Registry.context () in
+  let budget = Guard.context () in
   let run_tasks () =
     let flag = Domain.DLS.get in_task in
     flag := true;
@@ -63,7 +81,7 @@ let parallel_map ~runners f xs =
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin
-        (match f (Array.unsafe_get xs i) with
+        (match run_task f (Array.unsafe_get xs i) with
         | r -> results.(i) <- Some r
         | exception e ->
             failures.(i) <- Some (e, Printexc.get_raw_backtrace ()));
@@ -72,7 +90,12 @@ let parallel_map ~runners f xs =
     in
     loop ()
   in
-  let worker () = Registry.with_context ctx run_tasks in
+  (* spawned domains inherit the submitter's ambient budget alongside
+     its telemetry span context, so a deadline set at the CLI reaches
+     every worker's Guard.tick *)
+  let worker () =
+    Registry.with_context ctx (fun () -> Guard.with_context budget run_tasks)
+  in
   let spawned = Array.init (runners - 1) (fun _ -> Domain.spawn worker) in
   Counter.add "exec.pool_domains_spawned" (runners - 1);
   (* the caller is a runner too; it already has the right span context *)

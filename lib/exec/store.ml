@@ -15,6 +15,7 @@
    collisions are content-addressing's problem and solved upstream. *)
 
 module Counter = Apex_telemetry.Counter
+module Guard = Apex_guard
 
 let format_version = "apex.exec.store/1"
 
@@ -57,6 +58,8 @@ let rec mkdir_p d =
    nuke one phase's artifacts by hand without touching the rest *)
 let entry_path ~ns ~key = Filename.concat (Filename.concat (cache_dir ()) ns) key
 
+let evict path = try Sys.remove path with Sys_error _ -> ()
+
 type read_result = Hit of string | Miss | Corrupt | Stale
 
 let read_entry path =
@@ -86,6 +89,11 @@ let read_entry path =
         | r -> r
         | exception (End_of_file | Sys_error _ | Failure _) -> Corrupt)
 
+(* Publish-by-rename: the payload is written to a per-(pid, domain)
+   temp name and only renamed onto the entry path after a *checked*
+   close, so a crash — or a flush error such as ENOSPC — at any point
+   leaves a torn temp file that [lookup] never reads, rather than a
+   torn entry that only the digest check catches later. *)
 let write_entry path payload =
   mkdir_p (Filename.dirname path);
   let tmp =
@@ -93,28 +101,45 @@ let write_entry path payload =
       (Domain.self () :> int)
   in
   let oc = open_out_bin tmp in
-  Fun.protect
-    (fun () ->
-      output_string oc magic;
-      output_char oc '\n';
-      output_string oc format_version;
-      output_char oc '\n';
-      output_string oc (Digest.to_hex (Digest.string payload));
-      output_char oc '\n';
-      output_string oc (string_of_int (String.length payload));
-      output_char oc '\n';
-      output_string oc payload)
-    ~finally:(fun () -> close_out_noerr oc);
+  (try
+     output_string oc magic;
+     output_char oc '\n';
+     output_string oc format_version;
+     output_char oc '\n';
+     output_string oc (Digest.to_hex (Digest.string payload));
+     output_char oc '\n';
+     output_string oc (string_of_int (String.length payload));
+     output_char oc '\n';
+     if Guard.Fault.fire "store-crash" then begin
+       (* simulate dying mid-write: half the payload reaches the temp
+          file and nothing cleans it up — the entry is never published
+          and later runs recompute as if the write never happened *)
+       output_string oc (String.sub payload 0 (String.length payload / 2));
+       close_out_noerr oc;
+       raise (Guard.Fault.Injected "store-crash")
+     end;
+     output_string oc payload;
+     (* close before rename: buffered-write failures must surface while
+        the data is still under the temp name *)
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (match e with Guard.Fault.Injected _ -> () | _ -> evict tmp);
+     raise e);
   Sys.rename tmp path;
   Counter.add "exec.cache_bytes_written" (String.length payload)
 
-let evict path = try Sys.remove path with Sys_error _ -> ()
-
+(* Caching is best-effort: a failed publish (disk trouble or the
+   injected crash) must never fail the computation that produced the
+   value — the caller already holds the result. *)
 let store ~ns ~key v =
   if !on then begin
     match write_entry (entry_path ~ns ~key) (Marshal.to_string v []) with
     | () -> ()
     | exception (Sys_error _ | Unix.Unix_error _) -> ()
+    | exception Guard.Fault.Injected site ->
+        Guard.Outcome.record ~phase:"store"
+          (Guard.Outcome.Degraded (Guard.Outcome.Fault site))
   end
 
 let decode payload =
@@ -130,6 +155,14 @@ let lookup ~ns ~key =
   else
     let path = entry_path ~ns ~key in
     match read_entry path with
+    | Hit _ when Guard.Fault.fire "cache-corrupt" ->
+        (* the armed hit is treated exactly like on-disk corruption:
+           evict and recompute, results identical to a cold lookup *)
+        Counter.incr "exec.cache_corrupt";
+        Guard.Outcome.record ~phase:"cache"
+          (Guard.Outcome.Degraded (Guard.Outcome.Fault "cache-corrupt"));
+        evict path;
+        None
     | Hit payload -> (
         match decode payload with
         | Some v ->
@@ -165,6 +198,13 @@ let memoize ~ns ~key f =
 
 type ns_stats = { ns : string; entries : int; bytes : int }
 
+let is_tmp_name name =
+  (* writer temp names are "<key>.tmp.<pid>.<domain>" *)
+  let sub = ".tmp." in
+  let n = String.length name and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
+  go 0
+
 let entry_files () =
   let root = cache_dir () in
   if not (Sys.file_exists root && Sys.is_directory root) then []
@@ -176,6 +216,10 @@ let entry_files () =
            else
              Sys.readdir d |> Array.to_list |> List.sort String.compare
              |> List.filter_map (fun name ->
+                    (* skip orphaned temp files from crashed writers:
+                       they are not entries and must not count *)
+                    if is_tmp_name name then None
+                    else
                     let path = Filename.concat d name in
                     match Unix.stat path with
                     | { Unix.st_kind = Unix.S_REG; st_size; st_mtime; _ } ->

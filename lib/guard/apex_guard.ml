@@ -1,0 +1,320 @@
+(* Resource governance for the DSE flow: one budget value bundling a
+   wall-clock deadline, step fuel and a cooperative cancellation token,
+   checked by a cheap [tick] in every worst-case-exponential hot loop
+   (mining enumeration, MIS and clique branch-and-bound, CDCL search,
+   optimizer passes), plus a deterministic fault-injection harness that
+   exercises the degradation ladders those loops implement.
+
+   Design constraints, in priority order:
+
+   - With no deadline, no fuel and no armed fault, [tick] must cost a
+     couple of loads and one predictable branch — the hot loops call it
+     millions of times and the flow's no-budget results must be
+     bit-identical to a run without the guard layer at all.
+   - Budgets are *cooperative*: nothing is killed.  A search that
+     overruns returns its best-so-far answer with a typed
+     [Outcome.Degraded] instead of raising, and only code with nothing
+     to salvage lets {!Cancelled} escape to an enclosing ladder.
+   - Deadlines are wall-clock and therefore shared: a child budget
+     derived for a pool worker or a per-pair evaluation inherits the
+     parent's deadline (the clock subdivides itself) and the parent's
+     cancellation (via the parent link), but carries its own token so
+     cancelling one pair never cancels its siblings. *)
+
+module Counter = Apex_telemetry.Counter
+
+exception Cancelled of string
+
+(* --- typed phase outcomes --- *)
+
+module Outcome = struct
+  type reason =
+    | Deadline
+    | Fuel
+    | Fault of string
+    | Error of string
+
+  type t = Exact | Degraded of reason | Skipped of reason
+
+  let reason_to_string = function
+    | Deadline -> "deadline"
+    | Fuel -> "fuel"
+    | Fault site -> "fault:" ^ site
+    | Error m -> "error:" ^ m
+
+  let to_string = function
+    | Exact -> "exact"
+    | Degraded r -> "degraded:" ^ reason_to_string r
+    | Skipped r -> "skipped:" ^ reason_to_string r
+
+  let is_exact = function Exact -> true | _ -> false
+
+  (* worst-of, for aggregating a fleet: Skipped > Degraded > Exact *)
+  let worst a b =
+    match (a, b) with
+    | (Skipped _ as s), _ | _, (Skipped _ as s) -> s
+    | (Degraded _ as d), _ | _, (Degraded _ as d) -> d
+    | Exact, Exact -> Exact
+
+  (* Outcomes surface in the telemetry report as counters: a total per
+     class (guard.outcome.exact / degraded / skipped) the CI matrix can
+     --require, and a per-phase breakdown for the non-exact classes.
+     Exact counts are per-run deterministic, so the jobs=1 vs jobs=4
+     report-diff guard stays clean. *)
+  let record ~phase t =
+    match t with
+    | Exact -> Counter.incr "guard.outcome.exact"
+    | Degraded r ->
+        Counter.incr "guard.outcome.degraded";
+        Counter.incr
+          (Printf.sprintf "guard.degraded.%s.%s" phase (reason_to_string r))
+    | Skipped r ->
+        Counter.incr "guard.outcome.skipped";
+        Counter.incr
+          (Printf.sprintf "guard.skipped.%s.%s" phase (reason_to_string r))
+end
+
+(* --- budgets --- *)
+
+module Budget = struct
+  type t = {
+    deadline : float;  (* absolute Unix time; infinity = no deadline *)
+    fuel : int Atomic.t option;  (* shared step allowance *)
+    token : string option Atomic.t;
+    parent : t option;
+  }
+
+  (* the one unlimited value: [tick] recognizes it physically, so the
+     default path through the guard never reads the clock *)
+  let unlimited =
+    { deadline = infinity; fuel = None; token = Atomic.make None;
+      parent = None }
+
+  let v ?deadline_s ?fuel () =
+    let deadline =
+      match deadline_s with
+      | Some s when s >= 0.0 -> Unix.gettimeofday () +. s
+      | _ -> infinity
+    in
+    { deadline;
+      fuel = Option.map (fun f -> Atomic.make (max 0 f)) fuel;
+      token = Atomic.make None;
+      parent = None }
+
+  (* physical, not structural: a budget built with [v ()] carries no
+     deadline or fuel but its token is still a live cancellation point *)
+  let is_unlimited b = b == unlimited
+
+  (* Child derivation: the deadline is the min of the parent's and the
+     child's own (a phase deadline can only tighten the run deadline),
+     fuel is the child's own allowance, and the fresh token hangs off
+     the parent so a parent-level cancel reaches every descendant while
+     a child-level cancel stays local. *)
+  let child ?deadline_s ?fuel parent =
+    let own =
+      match deadline_s with
+      | Some s when s >= 0.0 -> Unix.gettimeofday () +. s
+      | _ -> infinity
+    in
+    { deadline = Float.min parent.deadline own;
+      fuel = Option.map (fun f -> Atomic.make (max 0 f)) fuel;
+      token = Atomic.make None;
+      parent = Some parent }
+
+  let cancel ?(reason = "cancelled") b =
+    ignore (Atomic.compare_and_set b.token None (Some reason))
+
+  let rec cancelled b =
+    match Atomic.get b.token with
+    | Some _ as r -> r
+    | None -> ( match b.parent with Some p -> cancelled p | None -> None)
+
+  let remaining_s b =
+    if b.deadline = infinity then None
+    else Some (Float.max 0.0 (b.deadline -. Unix.gettimeofday ()))
+
+  (* fuel probe without consuming *)
+  let fuel_left b = Option.map Atomic.get b.fuel
+end
+
+(* --- fault injection --- *)
+
+module Fault = struct
+  exception Injected of string
+
+  (* every registered site, the recovery its ladder exercises, and the
+     DESIGN.md row documenting it; [arm] validates against this list so
+     a typo in --inject-fault fails fast instead of silently never
+     firing *)
+  let sites =
+    [ ("smt-exhaust", "SAT search reports Unknown: proved rule degrades to tested-only");
+      ("cache-corrupt", "cache entry read as corrupt: evicted and recomputed");
+      ("store-crash", "crash mid cache write: torn temp file, entry never published");
+      ("pool-worker", "pool task raises: re-executed inline by the submitting domain");
+      ("pair-eval", "one (variant, app) evaluation fails: pair skipped, fleet continues");
+      ("deadline", "deadline expires mid-phase: phase returns best-so-far") ]
+
+  let site_names = List.map fst sites
+
+  type armed = { site : string; countdown : int Atomic.t }
+
+  let armed : armed option ref = ref None
+
+  (* cached per-site flag so Guard.tick only pays for the deadline site
+     when that site is actually armed *)
+  let deadline_armed = ref false
+
+  let disarm () =
+    armed := None;
+    deadline_armed := false
+
+  let arm spec =
+    let site, nth =
+      match String.index_opt spec ':' with
+      | None -> (spec, 1)
+      | Some i -> (
+          let site = String.sub spec 0 i in
+          let n = String.sub spec (i + 1) (String.length spec - i - 1) in
+          match int_of_string_opt n with
+          | Some n when n >= 1 -> (site, n)
+          | _ ->
+              invalid_arg
+                (Printf.sprintf
+                   "Fault.arm: malformed occurrence count %S in %S" n spec))
+    in
+    if not (List.mem site site_names) then
+      invalid_arg
+        (Printf.sprintf "Fault.arm: unknown site %S (registered: %s)" site
+           (String.concat ", " site_names));
+    armed := Some { site; countdown = Atomic.make nth };
+    deadline_armed := String.equal site "deadline"
+
+  let arm_from_env () =
+    match Sys.getenv_opt "APEX_FAULT" with
+    | Some spec when spec <> "" -> arm spec
+    | _ -> ()
+
+  let armed_site () = Option.map (fun a -> a.site) !armed
+
+  (* [fire site] is the registered injection point: true exactly when
+     this call is the armed nth occurrence of [site].  One-shot — the
+     run must recover and finish — and deterministic for a fixed
+     (site, nth) on a serial run; under a pool the atomic countdown
+     still fires exactly once. *)
+  let fire site =
+    match !armed with
+    | Some a when String.equal a.site site ->
+        let prev = Atomic.fetch_and_add a.countdown (-1) in
+        if prev = 1 then begin
+          disarm ();
+          Counter.incr "guard.faults_injected";
+          true
+        end
+        else false
+    | _ -> false
+
+  let inject site = if fire site then raise (Injected site)
+end
+
+(* --- the ambient budget and the tick --- *)
+
+(* The budget travels implicitly: threading it through every signature
+   between `apex dse` and the innermost CDCL loop would churn the whole
+   API surface for a value that is almost always "unlimited".  Instead
+   the current budget lives in domain-local storage (exactly like the
+   telemetry span context) and Exec.Pool hands it across domains. *)
+
+type ambient = { mutable budget : Budget.t }
+
+let root = ref Budget.unlimited
+
+let key : ambient Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { budget = !root })
+
+let set_root b =
+  root := b;
+  (Domain.DLS.get key).budget <- b
+
+let current () = (Domain.DLS.get key).budget
+
+let with_budget b f =
+  let a = Domain.DLS.get key in
+  let saved = a.budget in
+  a.budget <- b;
+  Fun.protect f ~finally:(fun () -> a.budget <- saved)
+
+(* fork-join hand-off (used by Exec.Pool) *)
+let context () = current ()
+
+let with_context b f = with_budget b f
+
+let state_of (b : Budget.t) =
+  match Budget.cancelled b with
+  | Some reason -> Some reason
+  | None -> (
+      match b.Budget.fuel with
+      | Some f when Atomic.fetch_and_add f (-1) <= 0 -> Some "fuel exhausted"
+      | _ ->
+          if
+            b.Budget.deadline <> infinity
+            && Unix.gettimeofday () > b.Budget.deadline
+          then begin
+            (* latch the expiry on the token, so siblings sharing this
+               budget trip on the cheap token check from now on *)
+            Budget.cancel b ~reason:"deadline exceeded";
+            Some "deadline exceeded"
+          end
+          else None)
+
+(* the injected-deadline site: never cancel the shared unlimited value
+   (it would poison every later budget parented to it) *)
+let fire_deadline_fault b =
+  !Fault.deadline_armed
+  && Fault.fire "deadline"
+  && begin
+       if not (Budget.is_unlimited b) then
+         Budget.cancel b ~reason:"injected deadline";
+       true
+     end
+
+let tick () =
+  let a = Domain.DLS.get key in
+  if (not (Budget.is_unlimited a.budget)) || !Fault.deadline_armed then begin
+    if fire_deadline_fault a.budget then raise (Cancelled "injected deadline");
+    match state_of a.budget with
+    | Some reason -> raise (Cancelled reason)
+    | None -> ()
+  end
+
+(* Non-raising probe for code that prefers a status-code degradation
+   (the CDCL loop returns Unknown rather than unwinding its trail). *)
+let expired () =
+  let a = Domain.DLS.get key in
+  if (not (Budget.is_unlimited a.budget)) || !Fault.deadline_armed then
+    fire_deadline_fault a.budget || state_of a.budget <> None
+  else false
+
+(* reason for the most useful Outcome: a budget that tripped on its
+   fuel is Fuel, anything else Deadline-shaped *)
+let reason_of_message m : Outcome.reason =
+  if m = "fuel exhausted" then Outcome.Fuel else Outcome.Deadline
+
+(* --- per-phase deadlines --- *)
+
+let phase_deadlines : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let set_phase_deadline phase seconds =
+  Hashtbl.replace phase_deadlines phase seconds
+
+let clear_phase_deadlines () = Hashtbl.reset phase_deadlines
+
+let phase_deadline phase = Hashtbl.find_opt phase_deadlines phase
+
+(* Run [f] under the budget a phase deserves: the ambient budget,
+   tightened by the phase's configured deadline when one is set.  The
+   child keeps its own token, so a phase-level cancel cannot leak into
+   the enclosing run. *)
+let with_phase phase f =
+  match Hashtbl.find_opt phase_deadlines phase with
+  | None -> f ()
+  | Some s -> with_budget (Budget.child ~deadline_s:s (current ())) f

@@ -1,0 +1,156 @@
+(** Resource governance for the DSE flow.
+
+    One {!Budget.t} value bundles a wall-clock deadline, step fuel and a
+    cooperative cancellation token.  Hot loops call the cheap {!tick};
+    when the ambient budget trips, [tick] raises {!Cancelled} and the
+    enclosing search returns its best-so-far answer with a typed
+    {!Outcome.t} instead of aborting the run.  {!Fault} is a
+    deterministic fault-injection harness exercising those degradation
+    ladders. *)
+
+(** Raised by {!tick} when the ambient budget has expired or been
+    cancelled.  The payload is a human-readable reason (feed it to
+    {!reason_of_message} for the typed form). *)
+exception Cancelled of string
+
+(** Typed per-phase outcomes: what quality of answer a phase produced. *)
+module Outcome : sig
+  type reason =
+    | Deadline  (** wall-clock deadline expired *)
+    | Fuel  (** step fuel exhausted *)
+    | Fault of string  (** injected fault at the named site *)
+    | Error of string  (** unexpected per-item failure, isolated *)
+
+  type t =
+    | Exact  (** the full search ran to completion *)
+    | Degraded of reason  (** a fallback answer: valid but maybe weaker *)
+    | Skipped of reason  (** no answer for this item; fleet continued *)
+
+  val reason_to_string : reason -> string
+
+  val to_string : t -> string
+  (** ["exact"], ["degraded:<reason>"] or ["skipped:<reason>"]. *)
+
+  val is_exact : t -> bool
+
+  val worst : t -> t -> t
+  (** Aggregation order for a fleet: [Skipped > Degraded > Exact]. *)
+
+  val record : phase:string -> t -> unit
+  (** Bump the [guard.outcome.*] telemetry counters (and the per-phase
+      [guard.degraded.<phase>.<reason>] / [guard.skipped.*] breakdown
+      for non-exact outcomes). *)
+end
+
+(** Budgets: deadline + fuel + cancellation token, with child
+    derivation for phases and pool workers. *)
+module Budget : sig
+  type t = {
+    deadline : float;  (** absolute Unix time; [infinity] = none *)
+    fuel : int Atomic.t option;  (** shared step allowance *)
+    token : string option Atomic.t;  (** cancellation reason, once set *)
+    parent : t option;  (** cancellation chains up; deadline pre-folded *)
+  }
+
+  val unlimited : t
+  (** The default budget. Recognized physically by {!tick}, which then
+      costs two loads and a branch — required for bit-identical
+      no-budget runs. *)
+
+  val v : ?deadline_s:float -> ?fuel:int -> unit -> t
+  (** Fresh root budget. [deadline_s] is relative seconds from now. *)
+
+  val is_unlimited : t -> bool
+
+  val child : ?deadline_s:float -> ?fuel:int -> t -> t
+  (** Derive a child: deadline is the min of the parent's and the
+      child's own, fuel is the child's own, and the fresh token hangs
+      off the parent so a parent-level cancel reaches descendants while
+      a child-level cancel stays local. *)
+
+  val cancel : ?reason:string -> t -> unit
+  (** Cooperatively cancel (first reason wins, latched). *)
+
+  val cancelled : t -> string option
+  (** The cancellation reason, checking the parent chain. *)
+
+  val remaining_s : t -> float option
+  (** Seconds until the deadline, or [None] if unlimited. *)
+
+  val fuel_left : t -> int option
+  (** [None] = no fuel limit; [Some n] = remaining steps (may be <= 0). *)
+end
+
+(** Deterministic one-shot fault injection at registered sites. *)
+module Fault : sig
+  exception Injected of string
+  (** Raised by {!inject} at the armed site; payload is the site name. *)
+
+  val sites : (string * string) list
+  (** Every registered site with a one-line description of the recovery
+      its degradation ladder performs. *)
+
+  val site_names : string list
+
+  val arm : string -> unit
+  (** [arm "site"] or [arm "site:nth"]: fire at the [nth] occurrence
+      (default 1). @raise Invalid_argument on an unknown site or a
+      malformed count. *)
+
+  val arm_from_env : unit -> unit
+  (** Arm from [APEX_FAULT] when set and nonempty. *)
+
+  val disarm : unit -> unit
+
+  val armed_site : unit -> string option
+
+  val fire : string -> bool
+  (** [fire site] is [true] exactly when this call is the armed nth
+      occurrence of [site]; one-shot (disarms itself) and counted as
+      [guard.faults_injected]. *)
+
+  val inject : string -> unit
+  (** [fire] and raise {!Injected} when it fires. *)
+end
+
+val set_root : Budget.t -> unit
+(** Install the process-root budget (what fresh domains inherit) and
+    make it the current domain's ambient budget.  Called once by the
+    CLI after parsing [--deadline]. *)
+
+val current : unit -> Budget.t
+
+val with_budget : Budget.t -> (unit -> 'a) -> 'a
+(** Run with the given ambient budget, restoring the previous one. *)
+
+val context : unit -> Budget.t
+(** Capture the ambient budget for hand-off to another domain
+    (mirrors [Telemetry.Registry.context]). *)
+
+val with_context : Budget.t -> (unit -> 'a) -> 'a
+
+val tick : unit -> unit
+(** The hot-loop check.  No-op (two loads, one branch) under the
+    unlimited budget with no armed deadline fault; otherwise checks
+    cancellation, consumes a unit of fuel, reads the clock, and raises
+    {!Cancelled} when the budget has tripped. *)
+
+val expired : unit -> bool
+(** Non-raising {!tick} for code that prefers a status-code
+    degradation (the CDCL loop returns [Unknown] rather than unwinding
+    its trail). *)
+
+val reason_of_message : string -> Outcome.reason
+(** Map a {!Cancelled} payload back to the typed reason. *)
+
+val set_phase_deadline : string -> float -> unit
+(** Configure a per-phase deadline in seconds ([--phase-deadline]). *)
+
+val phase_deadline : string -> float option
+
+val clear_phase_deadlines : unit -> unit
+(** Drop every configured phase deadline (test teardown). *)
+
+val with_phase : string -> (unit -> 'a) -> 'a
+(** Run a phase under the ambient budget tightened by the phase's
+    configured deadline (identity when none is set). *)

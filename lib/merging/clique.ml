@@ -1,6 +1,13 @@
+module Guard = Apex_guard
+
 type problem = { n : int; weight : float array; adj : bool array array }
 
-type solution = { members : int list; weight : float; optimal : bool }
+type solution = {
+  members : int list;
+  weight : float;
+  optimal : bool;
+  outcome : Guard.Outcome.t;
+}
 
 let weight_of (p : problem) members =
   List.fold_left (fun acc v -> acc +. p.weight.(v)) 0.0 members
@@ -36,6 +43,7 @@ let solve ?(budget = 2_000_000) (p : problem) =
   (* candidates: indices into [order] not yet decided, all compatible
      with the current clique *)
   let rec go clique w candidates cand_sum =
+    Guard.tick ();
     incr steps;
     if !steps > budget then raise Out_of_budget;
     if w > !best_w then begin
@@ -55,12 +63,26 @@ let solve ?(budget = 2_000_000) (p : problem) =
         end
         else incr cutoffs
   in
+  (* the ladder: the search starts from the greedy warm start, so both
+     the step cap and a budget trip return a feasible clique at least
+     as heavy as greedy — only optimality degrades *)
+  let outcome = ref Guard.Outcome.Exact in
   (try
      let all = Array.to_list order in
      let sum = Array.fold_left ( +. ) 0.0 p.weight in
      go [] 0.0 all sum
-   with Out_of_budget -> optimal := false);
+   with
+  | Out_of_budget ->
+      optimal := false;
+      outcome := Guard.Outcome.Degraded Guard.Outcome.Fuel
+  | Guard.Cancelled msg ->
+      optimal := false;
+      outcome := Guard.Outcome.Degraded (Guard.reason_of_message msg));
   Apex_telemetry.Counter.add "merging.clique_nodes" !steps;
   Apex_telemetry.Counter.add "merging.clique_cutoffs" !cutoffs;
   if not !optimal then Apex_telemetry.Counter.incr "merging.clique_budget_exhausted";
-  { members = List.sort compare !best; weight = !best_w; optimal = !optimal }
+  Guard.Outcome.record ~phase:"merging" !outcome;
+  { members = List.sort compare !best;
+    weight = !best_w;
+    optimal = !optimal;
+    outcome = !outcome }

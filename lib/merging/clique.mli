@@ -10,14 +10,19 @@ type problem = {
 type solution = {
   members : int list;    (** vertex indices, increasing *)
   weight : float;
-  optimal : bool;        (** false when the search budget was exhausted *)
+  optimal : bool;        (** false when a search budget was exhausted *)
+  outcome : Apex_guard.Outcome.t;
+  (** [Exact], or [Degraded] with the budget class that cut the search
+      ([Fuel] for the step cap, [Deadline] for the ambient
+      {!Apex_guard} budget) *)
 }
 
 val solve : ?budget:int -> problem -> solution
 (** Branch and bound with a greedy warm start and a sum-of-candidates
-    bound.  [budget] caps the number of search nodes (default 2M);
-    when exceeded, the best clique found so far is returned with
-    [optimal = false]. *)
+    bound, ticking the ambient {!Apex_guard} budget.  [budget] caps
+    the number of search nodes (default 2M); when either budget trips,
+    the best clique found so far — never lighter than the greedy warm
+    start — is returned with [optimal = false]. *)
 
 val greedy : problem -> int list
 (** Greedy heaviest-first clique, used as warm start and as the

@@ -225,6 +225,7 @@ let mux_points (dp : D.t) = List.length (D.mux_points dp)
 let merge ?(strategy = Max_weight_clique) ?(clique_budget = 2_000_000)
     (a : D.t) p =
   Span.with_ "merging" @@ fun () ->
+  Apex_guard.with_phase "merging" @@ fun () ->
   let b = D.of_pattern p in
   let bcfg = List.hd b.configs in
   let ops =
@@ -259,7 +260,8 @@ let merge ?(strategy = Max_weight_clique) ?(clique_budget = 2_000_000)
         let members = Clique.greedy problem in
         { Clique.members;
           weight = List.fold_left (fun acc v -> acc +. weight.(v)) 0.0 members;
-          optimal = false }
+          optimal = false;
+          outcome = Apex_guard.Outcome.Exact }
     | Max_weight_clique | No_sharing -> Clique.solve ~budget:clique_budget problem
   in
   (* acyclicity repair: drop lightest members until the merged graph is

@@ -28,7 +28,12 @@ type found = {
   support : int;
 }
 
-type stats = { enumerated : int; truncated : bool; capped_patterns : int }
+type stats = {
+  enumerated : int;
+  truncated : bool;
+  capped_patterns : int;
+  outcome : Apex_guard.Outcome.t;
+}
 
 (* Undirected adjacency restricted to minable nodes. *)
 let adjacency cfg g =
@@ -55,6 +60,7 @@ exception Budget
 module Counter = Apex_telemetry.Counter
 module Span = Apex_telemetry.Span
 module Pool = Apex_exec.Pool
+module Guard = Apex_guard
 
 (* Reusable canonical-coding scratch: one buffer and two index tables
    per enumeration (or per pool task) instead of fresh allocations for
@@ -170,6 +176,9 @@ let enumerate_range cfg g adj ok ~lo ~hi =
   let patterns : (string, Pattern.t) Hashtbl.t = Hashtbl.create 64 in
   let acc = ref [] in
   let emit sub =
+    (* cancellation check on the worker domain: under a deadline the
+       pool task must stop enumerating, not just the serial replay *)
+    Guard.tick ();
     let entry =
       if List.exists (fun i -> Op.is_compute (G.node g i).op) sub then begin
         let sorted = List.sort compare sub in
@@ -194,6 +203,7 @@ let enumerate_range cfg g adj ok ~lo ~hi =
    visited exactly once. *)
 let mine cfg g =
   Span.with_ "mining" @@ fun () ->
+  Guard.with_phase "mining" @@ fun () ->
   let adj, ok = adjacency cfg g in
   let n = G.length g in
   let groups : (string, Pattern.t * int list list * int) Hashtbl.t =
@@ -214,6 +224,7 @@ let mine cfg g =
      cache-missing key (computed inline serially, pre-computed on a
      worker domain in the parallel path). *)
   let record ~pattern_for sorted skey =
+    Guard.tick ();
     incr enumerated;
     if !enumerated > cfg.max_subgraphs then raise Budget;
     match skey with
@@ -240,6 +251,7 @@ let mine cfg g =
   in
   let roots = Array.fold_left (fun acc ok -> if ok then acc + 1 else acc) 0 ok in
   let jobs = Pool.jobs () in
+  let outcome = ref Guard.Outcome.Exact in
   (try
      if jobs <= 1 || roots < 2 then begin
        (* serial: enumerate and record in one pass, nothing materialized *)
@@ -283,7 +295,17 @@ let mine cfg g =
              entries)
          parts
      end
-   with Budget -> truncated := true);
+   with
+  | Budget ->
+      (* the pre-existing enumeration cap: a fuel-shaped truncation *)
+      truncated := true;
+      outcome := Guard.Outcome.Degraded Guard.Outcome.Fuel
+  | Guard.Cancelled msg ->
+      (* deadline or cooperative cancel mid-enumeration: everything
+         recorded so far is a valid (if partial) pattern census, the
+         same best-so-far shape the subgraph cap produces *)
+      truncated := true;
+      outcome := Guard.Outcome.Degraded (Guard.reason_of_message msg));
   let capped = ref 0 in
   let rejected = ref 0 in
   let found =
@@ -306,6 +328,7 @@ let mine cfg g =
   Counter.add "mining.min_support_rejections" !rejected;
   Counter.add "mining.capped_patterns" !capped;
   if !truncated then Counter.incr "mining.budget_truncations";
+  Guard.Outcome.record ~phase:"mining" !outcome;
   let cmp a b =
     match compare b.support a.support with
     | 0 -> (
@@ -315,4 +338,7 @@ let mine cfg g =
     | c -> c
   in
   ( List.sort cmp found,
-    { enumerated = !enumerated; truncated = !truncated; capped_patterns = !capped } )
+    { enumerated = !enumerated;
+      truncated = !truncated;
+      capped_patterns = !capped;
+      outcome = !outcome } )

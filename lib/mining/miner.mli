@@ -32,10 +32,14 @@ type found = {
 
 type stats = {
   enumerated : int;   (** connected subgraphs visited *)
-  truncated : bool;   (** enumeration budget exhausted *)
+  truncated : bool;   (** enumeration budget or deadline exhausted *)
   capped_patterns : int;
   (** patterns whose stored embedding list hit the per-pattern cap
       (4000); their [support] stays exact but MIS runs on the cap *)
+  outcome : Apex_guard.Outcome.t;
+  (** [Exact], or [Degraded] when the subgraph cap ([Fuel]) or the
+      ambient {!Apex_guard} budget ([Deadline]) cut enumeration short —
+      the returned census covers everything enumerated up to the cut *)
 }
 
 val mine : config -> Apex_dfg.Graph.t -> found list * stats

@@ -1,3 +1,5 @@
+module Guard = Apex_guard
+
 type overlap_graph = { n : int; edges : (int * int) list }
 
 let overlap_graph embeddings =
@@ -71,14 +73,31 @@ let greedy g =
   done;
   List.sort compare !chosen
 
+type solution = {
+  members : int list;
+  optimal : bool;
+  outcome : Guard.Outcome.t;
+}
+
+(* Anytime exact MIS: branch and bound under the ambient budget, with a
+   two-rung degradation ladder.  A graph over [node_limit] never enters
+   the search (greedy straight away); a budget trip mid-search keeps
+   the larger of the incumbent and the greedy answer.  Every rung
+   returns a genuinely independent set — only optimality degrades. *)
 let exact_maximum ?(node_limit = 64) g =
-  if g.n > node_limit then None
+  if g.n > node_limit then begin
+    Apex_telemetry.Counter.incr "mining.mis_fallbacks";
+    { members = greedy g;
+      optimal = false;
+      outcome = Guard.Outcome.Degraded Guard.Outcome.Fuel }
+  end
   else begin
     let adj = adjacency g in
     let best = ref [] in
     let visited = ref 0 in
     (* branch and bound on vertices in increasing order *)
     let rec go i chosen size blocked =
+      Guard.tick ();
       incr visited;
       if size + (g.n - i) <= List.length !best then ()
       else if i = g.n then begin
@@ -92,9 +111,24 @@ let exact_maximum ?(node_limit = 64) g =
         go (i + 1) chosen size blocked
       end
     in
-    go 0 [] 0 [];
-    Apex_telemetry.Counter.add "mining.mis_bb_nodes" !visited;
-    Some (List.sort compare !best)
+    match go 0 [] 0 [] with
+    | () ->
+        Apex_telemetry.Counter.add "mining.mis_bb_nodes" !visited;
+        { members = List.sort compare !best;
+          optimal = true;
+          outcome = Guard.Outcome.Exact }
+    | exception Guard.Cancelled msg ->
+        Apex_telemetry.Counter.add "mining.mis_bb_nodes" !visited;
+        Apex_telemetry.Counter.incr "mining.mis_fallbacks";
+        let incumbent = List.sort compare !best in
+        let fallback = greedy g in
+        let members =
+          if List.length incumbent >= List.length fallback then incumbent
+          else fallback
+        in
+        { members;
+          optimal = false;
+          outcome = Guard.Outcome.Degraded (Guard.reason_of_message msg) }
   end
 
 let first_fit embeddings =

@@ -19,9 +19,18 @@ val greedy : overlap_graph -> int list
 (** Greedy maximal independent set (repeatedly take a minimum-degree
     vertex and discard its neighbors).  Sorted, deterministic. *)
 
-val exact_maximum : ?node_limit:int -> overlap_graph -> int list option
-(** Exact maximum independent set by branch and bound; [None] when the
-    graph has more than [node_limit] (default 64) vertices. *)
+type solution = {
+  members : int list;  (** sorted, always independent *)
+  optimal : bool;      (** true iff the branch and bound ran to the end *)
+  outcome : Apex_guard.Outcome.t;
+}
+
+val exact_maximum : ?node_limit:int -> overlap_graph -> solution
+(** Anytime exact maximum independent set by branch and bound under the
+    ambient {!Apex_guard} budget.  Graphs over [node_limit] (default
+    64) vertices, and searches whose budget trips, degrade to the
+    larger of the incumbent and the {!greedy} answer with
+    [optimal = false] — the members are independent on every rung. *)
 
 val first_fit : int list list -> int list
 (** Greedy maximal independent set computed directly on the embedding

@@ -402,7 +402,14 @@ let pick_branch_var s =
 
 let solve ?(conflict_budget = max_int) s =
   Apex_telemetry.Counter.incr "smt.solver_calls";
-  if not s.ok then Unsat
+  if Apex_guard.Fault.fire "smt-exhaust" then begin
+    (* injected budget exhaustion: exactly the Unknown a conflict-budget
+       trip produces, so the caller's proved-to-tested ladder runs *)
+    Apex_guard.Outcome.record ~phase:"smt"
+      (Apex_guard.Outcome.Degraded (Apex_guard.Outcome.Fault "smt-exhaust"));
+    Unknown
+  end
+  else if not s.ok then Unsat
   else begin
     cancel_until s 0;
     s.model_valid <- false;
@@ -422,6 +429,14 @@ let solve ?(conflict_budget = max_int) s =
           result := Some Unsat
         end
         else if !total_conflicts > conflict_budget then result := Some Unknown
+        else if Apex_guard.expired () then begin
+          (* ambient deadline mid-search: report Unknown rather than
+             unwinding the trail through an exception — callers treat
+             it exactly like a conflict-budget exhaustion *)
+          Apex_guard.Outcome.record ~phase:"smt"
+            (Apex_guard.Outcome.Degraded Apex_guard.Outcome.Deadline);
+          result := Some Unknown
+        end
         else begin
           let learnt, back_level = analyze s confl in
           cancel_until s back_level;

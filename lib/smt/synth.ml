@@ -111,6 +111,7 @@ let structural_candidates dp p ~on_candidate ~max_candidates =
   let rec place = function
     | [] -> finish ()
     | u :: rest ->
+        Apex_guard.tick ();
         let un = G.node pg u in
         if Op.is_const un.op then begin
           let v = const_value un.op in
@@ -255,6 +256,7 @@ let structural_candidates dp p ~on_candidate ~max_candidates =
 
 let structural ?(width = 8) ?(max_candidates = 2000) dp p =
   Apex_telemetry.Span.with_ "synth" @@ fun () ->
+  Apex_guard.with_phase "synthesis" @@ fun () ->
   Apex_telemetry.Counter.incr "rules.attempted";
   let code = Pattern.code p in
   let result = ref None in
@@ -273,7 +275,15 @@ let structural ?(width = 8) ?(max_candidates = 2000) dp p =
      List.iter (fun (cfg : D.config) -> if cfg.D.inputs <> [] then try_cfg cfg)
        provenance;
      structural_candidates dp p ~max_candidates ~on_candidate:try_cfg
-   with Found _ -> ());
+   with
+  | Found _ -> ()
+  | Apex_guard.Cancelled msg ->
+      (* budget trip mid-search: no rule for this pattern this run — the
+         mapper simply cannot use it, which costs coverage, not
+         soundness.  (A Verify trip surfaces the same way: the verdict
+         ladder already turned an Unknown proof into Tested.) *)
+      Apex_guard.Outcome.record ~phase:"synthesis"
+        (Apex_guard.Outcome.Degraded (Apex_guard.reason_of_message msg)));
   if !result <> None then Apex_telemetry.Counter.incr "rules.synthesized";
   !result
 

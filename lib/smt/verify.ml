@@ -120,6 +120,7 @@ let verify_config_uncounted ?(width = 8) ?(conflict_budget = 200_000)
   let refuted = ref None in
   (try
      for _ = 1 to random_tests do
+       Apex_guard.tick ();
        let assignment = random_assignment st pg cfg in
        let golden, actual = eval_16 dp cfg pg assignment in
        if golden <> actual then begin
@@ -152,6 +153,7 @@ let verify_config_uncounted ?(width = 8) ?(conflict_budget = 200_000)
           else begin
             Bv.assert_not_equal ctx golden actual;
             let rec refine budget_left =
+              Apex_guard.tick ();
               match Sat.solve ~conflict_budget:budget_left (Bv.sat ctx) with
               | Sat.Unsat -> Proved width
               | Sat.Unknown -> Tested

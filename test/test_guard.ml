@@ -1,0 +1,471 @@
+(* Tests for the resource governor: budget algebra, cooperative
+   cancellation, the degradation ladders of the exact searches, and the
+   deterministic fault-injection harness (one test per fault class, plus
+   deadline expiry mid-phase). *)
+
+module Guard = Apex_guard
+module Budget = Apex_guard.Budget
+module Fault = Apex_guard.Fault
+module Outcome = Apex_guard.Outcome
+module Mis = Apex_mining.Mis
+module Clique = Apex_merging.Clique
+module Sat = Apex_smt.Sat
+module Pool = Apex_exec.Pool
+module Store = Apex_exec.Store
+module Registry = Apex_telemetry.Registry
+module Counter = Apex_telemetry.Counter
+
+let check = Alcotest.check
+
+(* Every test must leave the guard's global state as it found it: the
+   ambient budget is scoped by [with_budget] already, but an armed fault
+   or a phase deadline would leak into the next test. *)
+let guarded f () =
+  Registry.enable ();
+  Registry.reset ();
+  Fun.protect f ~finally:(fun () ->
+      Fault.disarm ();
+      Guard.clear_phase_deadlines ();
+      Registry.disable ();
+      Registry.reset ())
+
+(* --- budgets --- *)
+
+let test_unlimited_is_physical () =
+  check Alcotest.bool "the shared constant" true
+    (Budget.is_unlimited Budget.unlimited);
+  (* a fresh token-only budget is NOT unlimited: its token is a live
+     cancellation point, so tick must keep checking it *)
+  check Alcotest.bool "fresh budget" false (Budget.is_unlimited (Budget.v ()));
+  (* under the default ambient budget the tick is a no-op *)
+  for _ = 1 to 1000 do
+    Guard.tick ()
+  done
+
+let test_fuel_exhaustion () =
+  let b = Budget.v ~fuel:3 () in
+  check (Alcotest.option Alcotest.int) "full tank" (Some 3) (Budget.fuel_left b);
+  Guard.with_budget b (fun () ->
+      (* 3 units of fuel buy exactly 3 ticks *)
+      Guard.tick ();
+      Guard.tick ();
+      Guard.tick ();
+      match Guard.tick () with
+      | () -> Alcotest.fail "4th tick should have tripped"
+      | exception Guard.Cancelled msg ->
+          check Alcotest.string "typed reason" "fuel"
+            (Outcome.reason_to_string (Guard.reason_of_message msg)))
+
+let test_deadline_expiry () =
+  let b = Budget.v ~deadline_s:0.0 () in
+  Guard.with_budget b (fun () ->
+      match Guard.tick () with
+      | () -> Alcotest.fail "expired deadline should trip the first tick"
+      | exception Guard.Cancelled msg ->
+          check Alcotest.string "typed reason" "deadline"
+            (Outcome.reason_to_string (Guard.reason_of_message msg)));
+  (* the expiry latched on the token: visible without reading the clock *)
+  check Alcotest.bool "latched" true (Budget.cancelled b <> None)
+
+let test_cancel_latches_first_reason () =
+  let b = Budget.v () in
+  check (Alcotest.option Alcotest.string) "initially live" None
+    (Budget.cancelled b);
+  Budget.cancel ~reason:"first" b;
+  Budget.cancel ~reason:"second" b;
+  check (Alcotest.option Alcotest.string) "first reason wins" (Some "first")
+    (Budget.cancelled b);
+  Guard.with_budget b (fun () ->
+      check Alcotest.bool "expired probe does not raise" true (Guard.expired ()))
+
+let test_child_derivation () =
+  let parent = Budget.v ~deadline_s:1000.0 () in
+  let child = Budget.child ~deadline_s:5.0 parent in
+  (* the child's own, tighter deadline wins *)
+  (match Budget.remaining_s child with
+  | Some s -> check Alcotest.bool "tightened deadline" true (s <= 5.0)
+  | None -> Alcotest.fail "child should carry a deadline");
+  (* a loose child keeps the parent's deadline *)
+  let loose = Budget.child ~deadline_s:1e6 parent in
+  (match Budget.remaining_s loose with
+  | Some s -> check Alcotest.bool "parent's deadline kept" true (s <= 1000.0)
+  | None -> Alcotest.fail "loose child should inherit the parent deadline");
+  (* child-level cancel stays local ... *)
+  let c1 = Budget.child parent and c2 = Budget.child parent in
+  Budget.cancel ~reason:"local" c1;
+  check Alcotest.bool "sibling unaffected" true (Budget.cancelled c2 = None);
+  check Alcotest.bool "parent unaffected" true (Budget.cancelled parent = None);
+  (* ... while a parent-level cancel reaches every descendant *)
+  Budget.cancel ~reason:"fleet stop" parent;
+  check (Alcotest.option Alcotest.string) "reaches children"
+    (Some "fleet stop") (Budget.cancelled c2)
+
+let test_remaining_and_fuel_probes () =
+  check (Alcotest.option Alcotest.int) "no fuel limit" None
+    (Budget.fuel_left (Budget.v ()));
+  check Alcotest.bool "no deadline" true
+    (Budget.remaining_s (Budget.v ()) = None);
+  match Budget.remaining_s (Budget.v ~deadline_s:60.0 ()) with
+  | Some s -> check Alcotest.bool "about a minute" true (s > 55.0 && s <= 60.0)
+  | None -> Alcotest.fail "deadline budget must report remaining time"
+
+(* --- outcomes --- *)
+
+let test_outcome_algebra () =
+  let d = Outcome.Degraded Outcome.Fuel in
+  let s = Outcome.Skipped Outcome.Deadline in
+  check Alcotest.bool "exact" true (Outcome.is_exact Outcome.Exact);
+  check Alcotest.bool "degraded not exact" false (Outcome.is_exact d);
+  check Alcotest.string "worst(exact, degraded)" "degraded:fuel"
+    (Outcome.to_string (Outcome.worst Outcome.Exact d));
+  check Alcotest.string "worst(degraded, skipped)" "skipped:deadline"
+    (Outcome.to_string (Outcome.worst d s));
+  check Alcotest.string "fault reason" "degraded:fault:pool-worker"
+    (Outcome.to_string (Outcome.Degraded (Outcome.Fault "pool-worker")))
+
+let test_outcome_counters () =
+  Outcome.record ~phase:"t" Outcome.Exact;
+  Outcome.record ~phase:"t" Outcome.Exact;
+  Outcome.record ~phase:"t" (Outcome.Degraded Outcome.Deadline);
+  Outcome.record ~phase:"t" (Outcome.Skipped (Outcome.Fault "pair-eval"));
+  check Alcotest.int "exact" 2 (Counter.get "guard.outcome.exact");
+  check Alcotest.int "degraded" 1 (Counter.get "guard.outcome.degraded");
+  check Alcotest.int "skipped" 1 (Counter.get "guard.outcome.skipped");
+  check Alcotest.int "phase breakdown" 1
+    (Counter.get "guard.degraded.t.deadline")
+
+(* --- fault arming --- *)
+
+let test_arm_validation () =
+  Alcotest.check_raises "unknown site"
+    (Invalid_argument
+       (Printf.sprintf "Fault.arm: unknown site %S (registered: %s)" "typo"
+          (String.concat ", " Fault.site_names)))
+    (fun () -> Fault.arm "typo");
+  (match Fault.arm "smt-exhaust:0" with
+  | () -> Alcotest.fail "zero occurrence count must be rejected"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.bool "nothing armed after failed arms" true
+    (Fault.armed_site () = None)
+
+let test_fire_nth_one_shot () =
+  Fault.arm "pool-worker:3";
+  check Alcotest.bool "1st occurrence" false (Fault.fire "pool-worker");
+  check Alcotest.bool "other sites never fire" false (Fault.fire "smt-exhaust");
+  check Alcotest.bool "2nd occurrence" false (Fault.fire "pool-worker");
+  check Alcotest.bool "3rd occurrence fires" true (Fault.fire "pool-worker");
+  (* one-shot: the harness disarms itself so the run can recover *)
+  check Alcotest.bool "disarmed after firing" true (Fault.armed_site () = None);
+  check Alcotest.bool "4th occurrence" false (Fault.fire "pool-worker");
+  check Alcotest.int "counted" 1 (Counter.get "guard.faults_injected")
+
+let test_arm_from_env () =
+  Unix.putenv "APEX_FAULT" "cache-corrupt:2";
+  Fun.protect
+    (fun () ->
+      Fault.arm_from_env ();
+      check (Alcotest.option Alcotest.string) "armed from APEX_FAULT"
+        (Some "cache-corrupt") (Fault.armed_site ()))
+    ~finally:(fun () -> Unix.putenv "APEX_FAULT" "")
+
+(* --- degradation ladders of the exact searches --- *)
+
+(* cycle graph C_n: a worst case the branch and bound must actually
+   search, with a known exact MIS size of floor(n/2) *)
+let cycle n =
+  { Mis.n; edges = List.init n (fun i -> (min i ((i + 1) mod n), max i ((i + 1) mod n))) }
+
+let assert_independent (g : Mis.overlap_graph) members =
+  List.iter
+    (fun (i, j) ->
+      if List.mem i members && List.mem j members then
+        Alcotest.failf "members %d and %d are adjacent" i j)
+    g.Mis.edges
+
+let test_mis_exact_small () =
+  let g = cycle 6 in
+  let s = Mis.exact_maximum g in
+  check Alcotest.bool "optimal" true s.Mis.optimal;
+  check Alcotest.string "outcome" "exact" (Outcome.to_string s.Mis.outcome);
+  check Alcotest.int "C_6 MIS" 3 (List.length s.Mis.members);
+  assert_independent g s.Mis.members
+
+let test_mis_fuel_fallback () =
+  (* seeded budget exhaustion: starve the branch and bound mid-search
+     and demand a valid (independent, nonempty) answer *)
+  let g = cycle 40 in
+  let greedy_size = List.length (Mis.greedy g) in
+  let s =
+    Guard.with_budget (Budget.v ~fuel:25 ()) (fun () -> Mis.exact_maximum g)
+  in
+  check Alcotest.bool "not optimal" false s.Mis.optimal;
+  check Alcotest.string "degraded on fuel" "degraded:fuel"
+    (Outcome.to_string s.Mis.outcome);
+  assert_independent g s.Mis.members;
+  check Alcotest.bool "never worse than greedy" true
+    (List.length s.Mis.members >= greedy_size)
+
+let test_mis_node_limit_fallback () =
+  let g = cycle 70 in
+  let s = Mis.exact_maximum ~node_limit:64 g in
+  check Alcotest.bool "not optimal" false s.Mis.optimal;
+  check Alcotest.bool "degraded" false (Outcome.is_exact s.Mis.outcome);
+  assert_independent g s.Mis.members;
+  check Alcotest.bool "nonempty" true (s.Mis.members <> [])
+
+(* a clique problem with enough structure that the search takes > a few
+   nodes: k disjoint cliques of size m plus some cross edges *)
+let clique_problem () =
+  let n = 15 in
+  let weight = Array.init n (fun i -> 1.0 +. float_of_int ((i * 7) mod 5)) in
+  let adj = Array.make_matrix n n false in
+  let connect i j =
+    adj.(i).(j) <- true;
+    adj.(j).(i) <- true
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      (* same residue class mod 3 → clique; plus a sprinkling of
+         deterministic cross edges *)
+      if i mod 3 = j mod 3 || (i * j) mod 7 = 1 then connect i j
+    done
+  done;
+  { Clique.n; weight; adj }
+
+let assert_clique (p : Clique.problem) members =
+  List.iteri
+    (fun i u ->
+      List.iteri
+        (fun j v ->
+          if i < j && not p.Clique.adj.(u).(v) then
+            Alcotest.failf "members %d and %d are not adjacent" u v)
+        members)
+    members
+
+let test_clique_budget_fallback () =
+  let p = clique_problem () in
+  let greedy_w =
+    List.fold_left (fun a v -> a +. p.Clique.weight.(v)) 0.0 (Clique.greedy p)
+  in
+  (* budget so small the search cannot finish: the warm start guarantees
+     the answer is still a feasible clique at least as heavy as greedy *)
+  let s = Clique.solve ~budget:3 p in
+  check Alcotest.bool "not optimal" false s.Clique.optimal;
+  check Alcotest.string "degraded on fuel" "degraded:fuel"
+    (Outcome.to_string s.Clique.outcome);
+  assert_clique p s.Clique.members;
+  check Alcotest.bool "never lighter than greedy" true
+    (s.Clique.weight >= greedy_w -. 1e-9);
+  (* and the full search on the same problem is strictly better-or-equal *)
+  let full = Clique.solve p in
+  check Alcotest.bool "full search optimal" true full.Clique.optimal;
+  check Alcotest.bool "full beats starved" true
+    (full.Clique.weight >= s.Clique.weight -. 1e-9)
+
+let test_clique_deadline_fallback () =
+  let p = clique_problem () in
+  let s =
+    Guard.with_budget
+      (Budget.v ~deadline_s:0.0 ())
+      (fun () -> Clique.solve p)
+  in
+  check Alcotest.bool "not optimal" false s.Clique.optimal;
+  check Alcotest.string "degraded on deadline" "degraded:deadline"
+    (Outcome.to_string s.Clique.outcome);
+  assert_clique p s.Clique.members;
+  check Alcotest.bool "warm start survives" true (s.Clique.members <> [])
+
+let test_deadline_mid_phase () =
+  (* a per-phase deadline tightens the ambient budget only inside the
+     phase: the search degrades, the enclosing budget stays live *)
+  Guard.set_phase_deadline "unit-test-phase" 0.0;
+  let g = cycle 30 in
+  let s =
+    Guard.with_phase "unit-test-phase" (fun () -> Mis.exact_maximum g)
+  in
+  check Alcotest.bool "not optimal" false s.Mis.optimal;
+  check Alcotest.string "degraded on deadline" "degraded:deadline"
+    (Outcome.to_string s.Mis.outcome);
+  assert_independent g s.Mis.members;
+  (* outside the phase the ambient budget never tripped *)
+  Guard.tick ();
+  check Alcotest.bool "ambient budget live" false (Guard.expired ())
+
+(* --- fault classes, one test each --- *)
+
+let test_fault_smt_exhaust () =
+  let s = Sat.create () in
+  let v = Sat.new_var s in
+  Sat.add_clause s [ Sat.pos v ];
+  Fault.arm "smt-exhaust";
+  (match Sat.solve s with
+  | Sat.Unknown -> ()
+  | _ -> Alcotest.fail "injected exhaustion must report Unknown");
+  check Alcotest.bool "degraded outcome recorded" true
+    (Counter.get "guard.outcome.degraded" >= 1);
+  (* one-shot: the next solve of the same instance succeeds *)
+  match Sat.solve s with
+  | Sat.Sat -> ()
+  | _ -> Alcotest.fail "recovery solve must succeed"
+
+let with_scratch_store f () =
+  let dir = Filename.temp_file "apex-guard-test" "" in
+  Sys.remove dir;
+  Store.set_dir dir;
+  Store.set_enabled true;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect f ~finally:(fun () ->
+      Store.set_enabled false;
+      if Sys.file_exists dir then rm dir)
+
+let test_fault_cache_corrupt =
+  with_scratch_store (fun () ->
+      let key = Store.key ~version:"t1" [ "corrupt" ] in
+      Store.store ~ns:"guardtest" ~key 42;
+      check (Alcotest.option Alcotest.int) "clean hit" (Some 42)
+        (Store.lookup ~ns:"guardtest" ~key);
+      Fault.arm "cache-corrupt";
+      (* the armed hit is treated as corrupt: evicted, reported as a miss *)
+      check (Alcotest.option Alcotest.int) "corrupt read degrades to miss"
+        None
+        (Store.lookup ~ns:"guardtest" ~key);
+      check Alcotest.int "counted" 1 (Counter.get "exec.cache_corrupt");
+      check Alcotest.bool "degraded outcome recorded" true
+        (Counter.get "guard.outcome.degraded" >= 1);
+      (* the poisoned entry is gone; a recompute-and-store recovers *)
+      check (Alcotest.option Alcotest.int) "evicted" None
+        (Store.lookup ~ns:"guardtest" ~key);
+      Store.store ~ns:"guardtest" ~key 42;
+      check (Alcotest.option Alcotest.int) "recovered" (Some 42)
+        (Store.lookup ~ns:"guardtest" ~key))
+
+let test_fault_store_crash =
+  with_scratch_store (fun () ->
+      let key = Store.key ~version:"t1" [ "crash" ] in
+      Fault.arm "store-crash";
+      (* the write "crashes" after the header + half the payload: the
+         torn temp file must never become a visible entry *)
+      Store.store ~ns:"guardtest" ~key [ 1; 2; 3 ];
+      check Alcotest.bool "degraded outcome recorded" true
+        (Counter.get "guard.outcome.degraded" >= 1);
+      check
+        (Alcotest.option (Alcotest.list Alcotest.int))
+        "torn write is a miss, not garbage" None
+        (Store.lookup ~ns:"guardtest" ~key);
+      (* the torn temp file is invisible to stats/gc enumeration *)
+      List.iter
+        (fun (s : Store.ns_stats) ->
+          if s.ns = "guardtest" then
+            check Alcotest.int "no visible entries" 0 s.entries)
+        (Store.stats ());
+      (* a later write of the same key publishes atomically *)
+      Store.store ~ns:"guardtest" ~key [ 1; 2; 3 ];
+      check
+        (Alcotest.option (Alcotest.list Alcotest.int))
+        "recovered" (Some [ 1; 2; 3 ])
+        (Store.lookup ~ns:"guardtest" ~key))
+
+let with_jobs n f () =
+  Pool.set_jobs n;
+  Fun.protect f ~finally:(fun () -> Pool.set_jobs 1)
+
+let test_fault_pool_worker_serial () =
+  let xs = List.init 20 Fun.id in
+  Fault.arm "pool-worker:5";
+  let ys = Pool.map (fun x -> x * x) xs in
+  check
+    Alcotest.(list int)
+    "results identical despite the fault"
+    (List.map (fun x -> x * x) xs)
+    ys;
+  check Alcotest.int "retried inline once" 1
+    (Counter.get "exec.pool_task_retries");
+  check Alcotest.bool "degraded outcome recorded" true
+    (Counter.get "guard.outcome.degraded" >= 1)
+
+let test_fault_pool_worker_parallel =
+  with_jobs 4 (fun () ->
+      let xs = List.init 40 Fun.id in
+      Fault.arm "pool-worker:7";
+      let ys = Pool.map (fun x -> x + 1) xs in
+      check
+        Alcotest.(list int)
+        "results identical despite the fault"
+        (List.map (fun x -> x + 1) xs)
+        ys;
+      check Alcotest.int "retried inline once" 1
+        (Counter.get "exec.pool_task_retries"))
+
+let test_budget_crosses_pool_domains =
+  with_jobs 4 (fun () ->
+      (* a cancelled ambient budget must be visible from pool workers:
+         the hand-off mirrors the telemetry context *)
+      let b = Budget.v () in
+      Budget.cancel ~reason:"fleet stop" b;
+      let ys =
+        Guard.with_budget b (fun () ->
+            Pool.map (fun x -> if Guard.expired () then -1 else x)
+              (List.init 16 Fun.id))
+      in
+      check
+        Alcotest.(list int)
+        "every worker saw the cancellation"
+        (List.init 16 (fun _ -> -1))
+        ys)
+
+let () =
+  Alcotest.run "guard"
+    [ ( "budget",
+        [ Alcotest.test_case "unlimited is physical" `Quick
+            (guarded test_unlimited_is_physical);
+          Alcotest.test_case "fuel exhaustion" `Quick
+            (guarded test_fuel_exhaustion);
+          Alcotest.test_case "deadline expiry" `Quick
+            (guarded test_deadline_expiry);
+          Alcotest.test_case "cancel latches first reason" `Quick
+            (guarded test_cancel_latches_first_reason);
+          Alcotest.test_case "child derivation" `Quick
+            (guarded test_child_derivation);
+          Alcotest.test_case "remaining and fuel probes" `Quick
+            (guarded test_remaining_and_fuel_probes) ] );
+      ( "outcome",
+        [ Alcotest.test_case "algebra" `Quick (guarded test_outcome_algebra);
+          Alcotest.test_case "counters" `Quick (guarded test_outcome_counters)
+        ] );
+      ( "fault-arming",
+        [ Alcotest.test_case "validation" `Quick (guarded test_arm_validation);
+          Alcotest.test_case "nth occurrence, one-shot" `Quick
+            (guarded test_fire_nth_one_shot);
+          Alcotest.test_case "APEX_FAULT env" `Quick (guarded test_arm_from_env)
+        ] );
+      ( "degradation",
+        [ Alcotest.test_case "mis exact on small graphs" `Quick
+            (guarded test_mis_exact_small);
+          Alcotest.test_case "mis fuel fallback" `Quick
+            (guarded test_mis_fuel_fallback);
+          Alcotest.test_case "mis node-limit fallback" `Quick
+            (guarded test_mis_node_limit_fallback);
+          Alcotest.test_case "clique budget fallback" `Quick
+            (guarded test_clique_budget_fallback);
+          Alcotest.test_case "clique deadline fallback" `Quick
+            (guarded test_clique_deadline_fallback);
+          Alcotest.test_case "deadline expiry mid-phase" `Quick
+            (guarded test_deadline_mid_phase) ] );
+      ( "fault-classes",
+        [ Alcotest.test_case "smt-exhaust" `Quick (guarded test_fault_smt_exhaust);
+          Alcotest.test_case "cache-corrupt" `Quick
+            (guarded test_fault_cache_corrupt);
+          Alcotest.test_case "store-crash" `Quick
+            (guarded test_fault_store_crash);
+          Alcotest.test_case "pool-worker (serial)" `Quick
+            (guarded test_fault_pool_worker_serial);
+          Alcotest.test_case "pool-worker (parallel)" `Quick
+            (guarded test_fault_pool_worker_parallel);
+          Alcotest.test_case "budget crosses pool domains" `Quick
+            (guarded test_budget_crosses_pool_domains) ] ) ]

@@ -203,9 +203,9 @@ let test_mis_greedy_is_independent () =
 
 let test_mis_exact_matches_small () =
   let g = Mis.overlap_graph [ [ 1; 2 ]; [ 2; 3 ]; [ 3; 4 ]; [ 4; 5 ] ] in
-  match Mis.exact_maximum g with
-  | None -> Alcotest.fail "should compute"
-  | Some s -> check int "path of 4 -> 2" 2 (List.length s)
+  let s = Mis.exact_maximum g in
+  Alcotest.(check bool) "optimal" true s.Mis.optimal;
+  check int "path of 4 -> 2" 2 (List.length s.Mis.members)
 
 let prop_greedy_le_exact =
   let gen =
@@ -224,9 +224,10 @@ let prop_greedy_le_exact =
       in
       let g = Mis.overlap_graph embs in
       let greedy = List.length (Mis.greedy g) in
-      match Mis.exact_maximum g with
-      | None -> true
-      | Some ex -> greedy <= List.length ex && greedy >= 1)
+      let ex = Mis.exact_maximum g in
+      ex.Mis.optimal
+      && greedy <= List.length ex.Mis.members
+      && greedy >= 1)
 
 let prop_greedy_independent =
   let gen =
