@@ -8,8 +8,9 @@ CI_CACHE := /tmp/apex-ci-cache
 CI_DSE_BASE := /tmp/apex-ci-dse-base.json
 CI_DSE_FAULT := /tmp/apex-ci-dse-fault.json
 CI_FAULT_CACHE := /tmp/apex-ci-fault-cache
+CI_SNAP := /tmp/apex-ci-snap
 
-.PHONY: all build test bench ci clean
+.PHONY: all build test bench bench-snapshot ci clean
 
 all: build
 
@@ -21,6 +22,13 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# Regenerate the committed benchmark-trajectory baselines
+# (BENCH_{mining,merging,smt,dse}.json at the repo root): exact phase
+# counters plus banded wall clock.  Run this — and commit the result —
+# when a change intentionally moves the search-space counters.
+bench-snapshot:
+	dune exec bench/main.exe -- --snapshot
 
 # Build, run the full test suite, then the static-analysis gates: the
 # abstract interpreter must produce facts and a validated node-count
@@ -65,6 +73,7 @@ ci: build test
 	dune exec bin/apex_cli.exe -- trace-check $(CI_WARM) --require exec.cache_hits
 	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_COLD) $(CI_WARM)
 	$(MAKE) ci-faults
+	$(MAKE) ci-bench
 
 # Fault-injection smoke matrix: each registered fault class, injected
 # into a real `apex dse camera` run, must (a) exit 0 — the degradation
@@ -109,8 +118,26 @@ ci-faults:
 	  --require guard.faults_injected --require guard.outcome.degraded
 	rm -rf $(CI_FAULT_CACHE)
 
+# Benchmark-trajectory regression gate: regenerate every snapshot into
+# a scratch directory and bench-diff it against the committed baseline
+# — any exact-counter drift, or a wall-clock band excursion beyond the
+# tolerance, fails the build.  Then the gate gates itself: perturb one
+# counter in a copy of a fresh snapshot and assert bench-diff catches
+# it (a seeded regression the gate must flag, or the gate is dead).
+.PHONY: ci-bench
+ci-bench:
+	rm -rf $(CI_SNAP) && mkdir -p $(CI_SNAP)
+	dune exec bench/main.exe -- --snapshot=$(CI_SNAP) > /dev/null
+	for a in mining merging smt dse; do \
+	  dune exec bin/apex_cli.exe -- bench-diff BENCH_$$a.json $(CI_SNAP)/BENCH_$$a.json || exit 1; \
+	done
+	sed -E 's/"mining\.patterns_grown": ([0-9]+)/"mining.patterns_grown": 1\1/' \
+	  $(CI_SNAP)/BENCH_mining.json > $(CI_SNAP)/perturbed.json
+	! dune exec bin/apex_cli.exe -- bench-diff $(CI_SNAP)/BENCH_mining.json $(CI_SNAP)/perturbed.json
+	rm -rf $(CI_SNAP)
+
 clean:
 	dune clean
 	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
 	rm -f $(CI_DSE_BASE) $(CI_DSE_FAULT)
-	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE)
+	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE) $(CI_SNAP)

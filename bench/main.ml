@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- --timing     Bechamel micro-benchmarks
      dune exec bench/main.exe -- --fast       greedy placement (effort 0)
      dune exec bench/main.exe -- --jobs-sweep parallel-scaling + cache sweep
+     dune exec bench/main.exe -- --snapshot  committable BENCH_<area>.json
+     dune exec bench/main.exe -- --jobs=N    pool width for any of the above
 
    Absolute numbers come from our synthetic technology model; the point
    of each experiment is the paper's *shape*: who wins, by what factor,
@@ -29,6 +31,7 @@ module Comparators = Apex_models.Comparators
 module Metrics = Apex.Metrics
 module Dse = Apex.Dse
 module Variants = Apex.Variants
+module Snapshot = Apex.Snapshot
 
 let effort = ref 1
 
@@ -693,6 +696,23 @@ let jobs_sweep file =
   Format.printf "jobs sweep written to %s@." file
 
 (* ------------------------------------------------------------------ *)
+(* --snapshot: committable phase benchmarks (BENCH_<area>.json)        *)
+(* ------------------------------------------------------------------ *)
+
+let snapshot dir =
+  section "Benchmark snapshot: exact phase counters + banded wall clock";
+  List.iter
+    (fun (name, area) ->
+      let t = Snapshot.run area in
+      let path = Snapshot.write ~dir t in
+      Format.printf "  %-8s %3d counters, %7.1f ms (band %d) -> %s@." name
+        (List.length t.Snapshot.counters)
+        (1e3 *. t.Snapshot.seconds)
+        (Snapshot.band_of_seconds t.Snapshot.seconds)
+        path)
+    Snapshot.areas
+
+(* ------------------------------------------------------------------ *)
 (* driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -732,6 +752,13 @@ let () =
           | _ -> invalid_arg ("bench: bad --deadline value " ^ s));
           false
         end
+        else if String.length a > 7 && String.sub a 0 7 = "--jobs=" then begin
+          let s = String.sub a 7 (String.length a - 7) in
+          (match int_of_string_opt s with
+          | Some n when n >= 1 -> Pool.set_jobs n
+          | _ -> invalid_arg ("bench: bad --jobs value " ^ s));
+          false
+        end
         else true)
       args
   in
@@ -740,6 +767,9 @@ let () =
   | [ "--jobs-sweep" ] -> jobs_sweep "BENCH_parallel.json"
   | [ a ] when String.length a > 13 && String.sub a 0 13 = "--jobs-sweep=" ->
       jobs_sweep (String.sub a 13 (String.length a - 13))
+  | [ "--snapshot" ] -> snapshot "."
+  | [ a ] when String.length a > 11 && String.sub a 0 11 = "--snapshot=" ->
+      snapshot (String.sub a 11 (String.length a - 11))
   | [] ->
       Format.printf "APEX evaluation harness: regenerating every table and figure.@.";
       run_experiments experiments

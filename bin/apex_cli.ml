@@ -543,7 +543,7 @@ let profile_cmd =
         ("result", Json.Obj (pp_fields pp));
         ("reference", Json.Obj (pp_fields pp_ref)) ]
   in
-  let run () trace check optimize apps all variant =
+  let run () trace check optimize apps all variant chrome =
     set_check check;
     set_optimize optimize;
     let apps =
@@ -555,9 +555,26 @@ let profile_cmd =
     (* profile implies tracing: the whole point is the report *)
     Registry.enable ();
     Registry.reset ();
+    if chrome <> None then Registry.set_events true;
     let results = Json.List (List.map (profile_app variant) apps) in
     let snap = Registry.snapshot () in
     Format.printf "@.%a" Report.pp snap;
+    (match chrome with
+    | None -> ()
+    | Some path -> (
+        let events = Registry.events () in
+        Registry.set_events false;
+        (match Apex_telemetry.Chrome.write_file path events with
+        | () ->
+            Format.eprintf "telemetry: Chrome trace (%d events) written to %s@."
+              (List.length events) path
+        | exception Sys_error m ->
+            Format.eprintf "telemetry: cannot write Chrome trace: %s@." m);
+        match Registry.events_dropped () with
+        | 0 -> ()
+        | n ->
+            Format.eprintf
+              "telemetry: %d span events dropped (per-run event cap)@." n));
     match trace_report_path trace with
     | None -> ()
     | Some path -> (
@@ -584,6 +601,19 @@ let profile_cmd =
       & opt (some string) None
       & info [ "variant"; "v" ] ~docv:"VARIANT" ~doc)
   in
+  let chrome =
+    let doc =
+      "Also record one trace event per span occurrence and write them as a \
+       Chrome trace-event (catapult) JSON file to $(docv); load it in \
+       about://tracing or Perfetto. Spans run on pool worker domains land \
+       on their own timeline rows (tid = domain id), so a --jobs 4 run \
+       renders as a parallel timeline."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome-trace" ] ~docv:"FILE" ~doc)
+  in
   Cmd.v
     (Cmd.info "profile"
        ~doc:
@@ -593,7 +623,7 @@ let profile_cmd =
           per-application results section — with --trace=FILE or APEX_TRACE).")
     Term.(
       const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ apps $ all
-      $ variant)
+      $ variant $ chrome)
 
 (* --- dse: the (variant x application) evaluation fleet --- *)
 
@@ -946,10 +976,13 @@ let report_diff_cmd =
       | Ok j -> j
       | Error m -> fail "%s: invalid JSON: %s" file m
     in
-    (* normalization: drop wall-clock fields everywhere, and drop the
-       runtime's own exec.* metrics — worker/cache bookkeeping is
-       *expected* to differ across --jobs and cache configurations *)
+    (* normalization: drop wall-clock and GC fields everywhere (both
+       are measurements of *how* the run went, not *what* it computed),
+       drop timing distributions (the `_ms` naming convention), and
+       drop the runtime's own exec.* metrics — worker/cache bookkeeping
+       is *expected* to differ across --jobs and cache configurations *)
     let exec_metric (k, _) = String.length k >= 5 && String.sub k 0 5 = "exec." in
+    let timing_dist (k, _) = String.ends_with ~suffix:"_ms" k in
     let rec normalize = function
       | Json.Obj fields ->
           Json.Obj
@@ -957,11 +990,21 @@ let report_diff_cmd =
                (fun (k, v) ->
                  match (k, v) with
                  | "total_ms", _ -> None
-                 | ("counters" | "gauges" | "distributions"), Json.Obj fs ->
+                 | "gc", _ -> None
+                 | ("counters" | "gauges"), Json.Obj fs ->
                      Some
                        ( k,
                          Json.Obj
                            (List.filter (fun f -> not (exec_metric f)) fs
+                           |> List.map (fun (k2, v2) -> (k2, normalize v2))) )
+                 | "distributions", Json.Obj fs ->
+                     Some
+                       ( k,
+                         Json.Obj
+                           (List.filter
+                              (fun f ->
+                                not (exec_metric f) && not (timing_dist f))
+                              fs
                            |> List.map (fun (k2, v2) -> (k2, normalize v2))) )
                  | _ -> Some (k, normalize v))
                fields)
@@ -1014,12 +1057,83 @@ let report_diff_cmd =
           differ.")
     Term.(const run $ a_file $ b_file $ results_only)
 
+(* --- bench-diff: the benchmark-trajectory regression gate (used by
+   `make ci` against the committed BENCH_<area>.json baselines) --- *)
+
+let bench_diff_cmd =
+  let run old_file new_file tolerance =
+    let fail fmt =
+      Format.kasprintf
+        (fun m ->
+          Format.printf "bench-diff: %s@." m;
+          exit 2)
+        fmt
+    in
+    if tolerance < 0 then
+      fail "--tolerance: %d is negative (band count expected)" tolerance;
+    let load file =
+      let contents =
+        match
+          let ic = open_in_bin file in
+          Fun.protect
+            (fun () -> really_input_string ic (in_channel_length ic))
+            ~finally:(fun () -> close_in ic)
+        with
+        | s -> s
+        | exception Sys_error m -> fail "%s" m
+      in
+      match Json.of_string contents with
+      | Ok j -> j
+      | Error m -> fail "%s: invalid JSON: %s" file m
+    in
+    let old_j = load old_file in
+    let new_j = load new_file in
+    match Apex.Snapshot.diff ~tolerance old_j new_j with
+    | [] ->
+        Format.printf
+          "bench-diff: %s and %s agree (exact counters, time bands within \
+           %d)@."
+          old_file new_file tolerance;
+        exit 0
+    | errs ->
+        Format.printf "bench-diff: %s vs %s: %d regression finding%s@."
+          old_file new_file (List.length errs)
+          (if List.length errs = 1 then "" else "s");
+        List.iter (fun e -> Format.printf "  %s@." e) errs;
+        exit 1
+  in
+  let old_file =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"OLD" ~doc:"Baseline snapshot (BENCH_<area>.json).")
+  in
+  let new_file =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"NEW" ~doc:"Freshly generated snapshot to gate.")
+  in
+  let tolerance =
+    Arg.(
+      value & opt int 1
+      & info [ "tolerance" ] ~docv:"BANDS"
+          ~doc:
+            "Allowed time-band drift per phase (bands are factor-of-4 wide; \
+             default 1). Exact counters never tolerate drift.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark snapshots written by `bench --snapshot`: \
+          exit 1 on any exact-counter drift or a wall-clock band excursion \
+          beyond --tolerance, 0 when the trajectory holds.")
+    Term.(const run $ old_file $ new_file $ tolerance)
+
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; mine_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd;
       verify_cmd; compile_cmd; profile_cmd; dse_cmd; lint_cmd;
-      trace_check_cmd; cache_cmd; report_diff_cmd ]
+      trace_check_cmd; cache_cmd; report_diff_cmd; bench_diff_cmd ]
 
 let () =
   (* Error hygiene: every anticipated failure class gets a one-line

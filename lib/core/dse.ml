@@ -138,6 +138,7 @@ let evaluate_pairs ?effort pairs =
   Apex_exec.Pool.map
     (fun ((v : Variants.t), (app : Apps.t)) ->
       Apex_guard.with_phase "evaluate" @@ fun () ->
+      Counter.time "dse.pair_eval_ms" @@ fun () ->
       match
         Apex_guard.tick ();
         Apex_guard.Fault.inject "pair-eval";

@@ -256,8 +256,12 @@ let state_of (b : Budget.t) =
       | Some f when Atomic.fetch_and_add f (-1) <= 0 -> Some "fuel exhausted"
       | _ ->
           if
+            (* reaching the deadline counts as expiry: a strict
+               comparison makes a zero-second deadline race the clock's
+               resolution (two gettimeofday calls in the same
+               microsecond would never trip) *)
             b.Budget.deadline <> infinity
-            && Unix.gettimeofday () > b.Budget.deadline
+            && Unix.gettimeofday () >= b.Budget.deadline
           then begin
             (* latch the expiry on the token, so siblings sharing this
                budget trip on the cheap token check from now on *)

@@ -67,17 +67,18 @@ let solve ?(budget = 2_000_000) (p : problem) =
      the step cap and a budget trip return a feasible clique at least
      as heavy as greedy — only optimality degrades *)
   let outcome = ref Guard.Outcome.Exact in
-  (try
-     let all = Array.to_list order in
-     let sum = Array.fold_left ( +. ) 0.0 p.weight in
-     go [] 0.0 all sum
-   with
-  | Out_of_budget ->
-      optimal := false;
-      outcome := Guard.Outcome.Degraded Guard.Outcome.Fuel
-  | Guard.Cancelled msg ->
-      optimal := false;
-      outcome := Guard.Outcome.Degraded (Guard.reason_of_message msg));
+  Apex_telemetry.Counter.time "merging.clique_ms" (fun () ->
+      try
+        let all = Array.to_list order in
+        let sum = Array.fold_left ( +. ) 0.0 p.weight in
+        go [] 0.0 all sum
+      with
+      | Out_of_budget ->
+          optimal := false;
+          outcome := Guard.Outcome.Degraded Guard.Outcome.Fuel
+      | Guard.Cancelled msg ->
+          optimal := false;
+          outcome := Guard.Outcome.Degraded (Guard.reason_of_message msg));
   Apex_telemetry.Counter.add "merging.clique_nodes" !steps;
   Apex_telemetry.Counter.add "merging.clique_cutoffs" !cutoffs;
   if not !optimal then Apex_telemetry.Counter.incr "merging.clique_budget_exhausted";

@@ -313,8 +313,13 @@ let mine cfg g =
       (fun _ (p, embs, count) acc ->
         if count > max_embeddings then incr capped;
         let embs = List.sort_uniq compare embs in
-        if count >= cfg.min_support then
+        if count >= cfg.min_support then begin
+          (* deterministic value distribution (order-insensitive), so
+             percentiles stay identical across --jobs configurations *)
+          Counter.observe "mining.embeddings_per_pattern"
+            (float_of_int count);
           { pattern = p; embeddings = embs; support = count } :: acc
+        end
         else begin
           incr rejected;
           acc

@@ -409,8 +409,14 @@ let solve ?(conflict_budget = max_int) s =
       (Apex_guard.Outcome.Degraded (Apex_guard.Outcome.Fault "smt-exhaust"));
     Unknown
   end
-  else if not s.ok then Unsat
-  else begin
+  else
+    (* every query gets a latency sample, including the many that the
+       encoder already refuted at clause-add time (instant Unsat): the
+       p50/p95 of smt.query_ms describe what a query *costs*, and most
+       cost nothing *)
+    Apex_telemetry.Counter.time "smt.query_ms" @@ fun () ->
+    if not s.ok then Unsat
+    else begin
     cancel_until s 0;
     s.model_valid <- false;
     let result = ref None in

@@ -14,3 +14,16 @@ let observe name v = Registry.observe name v
 (* For instrumentation whose *computation* of the value is itself
    costly: the thunk only runs while telemetry is enabled. *)
 let add_lazy name f = if Registry.is_enabled () then Registry.counter_add name (f ())
+
+(* Time [f] and feed the elapsed milliseconds into the distribution
+   [name], so reports can show per-occurrence latency percentiles that
+   the aggregated span tree cannot.  By convention such timing
+   distributions end in "_ms"; report-diff treats the suffix as a
+   timing field and drops it when comparing runs. *)
+let time name f =
+  if not (Registry.is_enabled ()) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect f ~finally:(fun () ->
+        Registry.observe name (1e3 *. (Unix.gettimeofday () -. t0)))
+  end

@@ -24,12 +24,22 @@ type dist = {
   mutable sum : float;
   mutable min_v : float;
   mutable max_v : float;
+  (* raw samples for percentile reporting, capped so a pathological
+     observation loop cannot exhaust memory; n keeps counting past the
+     cap and min/max stay exact, so only mid-quantiles coarsen *)
+  mutable stored : int;
+  mutable samples : float array;
 }
 
 type span = {
   name : string;
   mutable count : int;
   mutable total_s : float;
+  (* per-span GC deltas (Gc.quick_stat before/after), aggregated like
+     total_s: how much allocation each phase is responsible for *)
+  mutable minor_words : float;
+  mutable major_words : float;
+  mutable compactions : int;
   mutable rev_order : string list; (* child names, most recent first *)
   children : (string, span) Hashtbl.t;
 }
@@ -55,7 +65,14 @@ let spans_created () = locked (fun () -> !spans_allocated)
 
 let new_span ~counted name =
   if counted then incr spans_allocated;
-  { name; count = 0; total_s = 0.0; rev_order = []; children = Hashtbl.create 4 }
+  { name;
+    count = 0;
+    total_s = 0.0;
+    minor_words = 0.0;
+    major_words = 0.0;
+    compactions = 0;
+    rev_order = [];
+    children = Hashtbl.create 4 }
 
 let new_root () =
   let r = new_span ~counted:false "root" in
@@ -76,11 +93,63 @@ let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
 
 let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
 
+(* --- trace events (the Chrome trace-event exporter's feed) ---
+
+   Off by default even while the registry is enabled: event collection
+   keeps one record per span *occurrence* (not per (parent, name)
+   aggregate), which is exactly what a timeline needs and exactly what
+   the bounded aggregate tree exists to avoid.  [set_events true] is
+   therefore opt-in per run (`apex profile --chrome-trace`).  Each
+   event carries the recording domain's id as its tid, so spans run on
+   Exec.Pool workers land on their own timeline rows. *)
+
+type event = { ev_name : string; ts_us : float; dur_us : float; tid : int }
+
+let events_flag = Atomic.make false
+
+let set_events b = Atomic.set events_flag b
+
+let events_enabled () = Atomic.get events_flag
+
+let max_events = 1_000_000
+
+let epoch = ref 0.0
+
+let ev_buf : event list ref = ref []
+
+let ev_count = ref 0
+
+let ev_dropped = ref 0
+
+let record_event name ~t0 ~t1 =
+  let tid = (Domain.self () :> int) in
+  locked (fun () ->
+      if !ev_count >= max_events then incr ev_dropped
+      else begin
+        incr ev_count;
+        ev_buf :=
+          { ev_name = name;
+            ts_us = Float.max 0.0 (1e6 *. (t0 -. !epoch));
+            dur_us = Float.max 0.0 (1e6 *. (t1 -. t0));
+            tid }
+          :: !ev_buf
+      end)
+
+let events () =
+  locked (fun () -> !ev_buf)
+  |> List.stable_sort (fun a b -> compare a.ts_us b.ts_us)
+
+let events_dropped () = locked (fun () -> !ev_dropped)
+
 let reset () =
   locked (fun () ->
       root := new_root ();
       (stack ()) := [];
       spans_allocated := 0;
+      epoch := Unix.gettimeofday ();
+      ev_buf := [];
+      ev_count := 0;
+      ev_dropped := 0;
       Hashtbl.reset counters;
       Hashtbl.reset gauges;
       Hashtbl.reset dists)
@@ -109,8 +178,12 @@ let enter name =
   st := sp :: !st;
   sp
 
-let leave sp dt =
-  locked (fun () -> sp.total_s <- sp.total_s +. dt);
+let leave sp ~dt ~minor ~major ~compactions =
+  locked (fun () ->
+      sp.total_s <- sp.total_s +. dt;
+      sp.minor_words <- sp.minor_words +. minor;
+      sp.major_words <- sp.major_words +. major;
+      sp.compactions <- sp.compactions + compactions);
   let st = stack () in
   match !st with
   | top :: rest when top == sp -> st := rest
@@ -149,6 +222,20 @@ let gauge_set name v =
 
 let gauge_get name = locked (fun () -> Hashtbl.find_opt gauges name)
 
+let max_samples = 65_536
+
+let push_sample d v =
+  if d.stored < max_samples then begin
+    if d.stored = Array.length d.samples then begin
+      let cap = min max_samples (max 8 (2 * Array.length d.samples)) in
+      let bigger = Array.make cap 0.0 in
+      Array.blit d.samples 0 bigger 0 d.stored;
+      d.samples <- bigger
+    end;
+    d.samples.(d.stored) <- v;
+    d.stored <- d.stored + 1
+  end
+
 let observe name v =
   if Atomic.get enabled then
     locked (fun () ->
@@ -157,15 +244,36 @@ let observe name v =
             d.n <- d.n + 1;
             d.sum <- d.sum +. v;
             if v < d.min_v then d.min_v <- v;
-            if v > d.max_v then d.max_v <- v
+            if v > d.max_v then d.max_v <- v;
+            push_sample d v
         | None ->
-            Hashtbl.replace dists name { n = 1; sum = v; min_v = v; max_v = v })
+            let d =
+              { n = 1; sum = v; min_v = v; max_v = v; stored = 0;
+                samples = [||] }
+            in
+            push_sample d v;
+            Hashtbl.replace dists name d)
+
+let copy_dist d = { d with samples = Array.sub d.samples 0 d.stored }
 
 let dist_get name =
   locked (fun () ->
       match Hashtbl.find_opt dists name with
-      | Some d -> Some { d with n = d.n }
+      | Some d -> Some (copy_dist d)
       | None -> None)
+
+(* Nearest-rank percentile over the stored samples, [p] in [0, 1]: a
+   single sample is every percentile of itself, ties collapse onto the
+   tied value.  Past the storage cap mid-quantiles are computed over
+   the first [max_samples] observations (min/max stay exact). *)
+let percentile (d : dist) p =
+  if d.stored = 0 then Float.nan
+  else begin
+    let s = Array.sub d.samples 0 d.stored in
+    Array.sort compare s;
+    let rank = int_of_float (Float.ceil (p *. float_of_int d.stored)) in
+    s.(max 1 (min d.stored rank) - 1)
+  end
 
 (* --- snapshots --- *)
 
@@ -186,6 +294,9 @@ let rec copy_span sp =
   { name = sp.name;
     count = sp.count;
     total_s = sp.total_s;
+    minor_words = sp.minor_words;
+    major_words = sp.major_words;
+    compactions = sp.compactions;
     rev_order = sp.rev_order;
     children }
 
@@ -196,11 +307,16 @@ let sorted_bindings tbl value =
 let snapshot () =
   locked (fun () ->
       let spans = copy_span !root in
-      (* the root has no own timing; report it as the sum of its children *)
-      spans.total_s <-
-        List.fold_left (fun acc c -> acc +. c.total_s) 0.0
-          (children_in_order spans);
+      (* the root has no own timing or GC activity; report both as the
+         sum of its children *)
+      List.iter
+        (fun c ->
+          spans.total_s <- spans.total_s +. c.total_s;
+          spans.minor_words <- spans.minor_words +. c.minor_words;
+          spans.major_words <- spans.major_words +. c.major_words;
+          spans.compactions <- spans.compactions + c.compactions)
+        (children_in_order spans);
       { spans;
         counters = sorted_bindings counters (fun r -> !r);
         gauges = sorted_bindings gauges Fun.id;
-        dists = sorted_bindings dists (fun d -> { d with n = d.n }) })
+        dists = sorted_bindings dists copy_dist })

@@ -27,6 +27,20 @@ let pp_span_tree ppf (snap : Registry.snapshot) =
   Format.fprintf ppf "span tree (wall clock):@.";
   pp_node "" snap.spans.total_s snap.spans
 
+(* per-phase GC accounting: one row per top-level span, in mega-words
+   so camera-pipeline-sized runs stay readable *)
+let pp_gc_table ppf (snap : Registry.snapshot) =
+  let phases = Registry.children_in_order snap.spans in
+  if phases <> [] then begin
+    Format.fprintf ppf "gc (per phase):%33s%12s%9s@." "minor Mw" "major Mw"
+      "compact";
+    List.iter
+      (fun (sp : Registry.span) ->
+        Format.fprintf ppf "  %-38s %7.2f %11.2f %8d@." sp.name
+          (sp.minor_words /. 1e6) (sp.major_words /. 1e6) sp.compactions)
+      phases
+  end
+
 let pp_counter_table ppf (snap : Registry.snapshot) =
   if snap.counters <> [] then begin
     Format.fprintf ppf "counters:@.";
@@ -41,18 +55,20 @@ let pp_counter_table ppf (snap : Registry.snapshot) =
       snap.gauges
   end;
   if snap.dists <> [] then begin
-    Format.fprintf ppf "distributions:%39s%10s%10s%10s@." "n" "min" "mean"
-      "max";
+    Format.fprintf ppf "distributions:%39s%10s%10s%10s%10s%10s@." "n" "min"
+      "mean" "p50" "p95" "max";
     List.iter
       (fun (name, (d : Registry.dist)) ->
-        Format.fprintf ppf "  %-38s %11d%10.2f%10.2f%10.2f@." name d.n d.min_v
+        Format.fprintf ppf "  %-38s %11d%10.2f%10.2f%10.2f%10.2f%10.2f@." name
+          d.n d.min_v
           (d.sum /. float_of_int (max 1 d.n))
-          d.max_v)
+          (Registry.percentile d 0.5) (Registry.percentile d 0.95) d.max_v)
       snap.dists
   end
 
 let pp ppf snap =
-  Format.fprintf ppf "%a@.%a" pp_span_tree snap pp_counter_table snap
+  Format.fprintf ppf "%a@.%a%a" pp_span_tree snap pp_gc_table snap
+    pp_counter_table snap
 
 (* --- JSON --- *)
 
@@ -61,6 +77,13 @@ let rec span_json (sp : Registry.span) =
     [ ("name", Json.String sp.name);
       ("count", Json.Int sp.count);
       ("total_ms", Json.Float (ms sp.total_s));
+      (* like total_ms, "gc" is a how-it-ran field: report-diff drops
+         it when comparing runs for result equality *)
+      ("gc",
+       Json.Obj
+         [ ("minor_words", Json.Float sp.minor_words);
+           ("major_words", Json.Float sp.major_words);
+           ("compactions", Json.Int sp.compactions) ]);
       ("children",
        Json.List (List.map span_json (Registry.children_in_order sp))) ]
 
@@ -85,8 +108,9 @@ let to_json ?results (snap : Registry.snapshot) =
                       ("sum", Json.Float d.sum);
                       ("min", Json.Float d.min_v);
                       ("max", Json.Float d.max_v);
-                      ("mean", Json.Float (d.sum /. float_of_int (max 1 d.n)))
-                    ] ))
+                      ("mean", Json.Float (d.sum /. float_of_int (max 1 d.n)));
+                      ("p50", Json.Float (Registry.percentile d 0.5));
+                      ("p95", Json.Float (Registry.percentile d 0.95)) ] ))
               snap.dists)) ])
 
 let write_file ?results path snap =

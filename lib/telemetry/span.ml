@@ -1,13 +1,25 @@
 (* Hierarchical wall-clock spans.  [with_ "mining" f] times [f] and
    accounts it to the span "mining" nested under whatever span is
-   currently open.  When the registry is disabled this is a single
-   branch and a tail call — no allocation, no clock read. *)
+   currently open, together with the GC work (minor/major words
+   allocated, compactions) the body was responsible for.  When the
+   registry is disabled this is a single branch and a tail call — no
+   allocation, no clock read, no GC stat.  When per-occurrence event
+   collection is on (Registry.set_events, the Chrome trace feed), each
+   completed span additionally records one timeline event tagged with
+   the running domain's id. *)
 
 let with_ name f =
   if not (Registry.is_enabled ()) then f ()
   else begin
     let sp = Registry.enter name in
+    let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     Fun.protect f ~finally:(fun () ->
-        Registry.leave sp (Unix.gettimeofday () -. t0))
+        let t1 = Unix.gettimeofday () in
+        let g1 = Gc.quick_stat () in
+        Registry.leave sp ~dt:(t1 -. t0)
+          ~minor:(g1.Gc.minor_words -. g0.Gc.minor_words)
+          ~major:(g1.Gc.major_words -. g0.Gc.major_words)
+          ~compactions:(g1.Gc.compactions - g0.Gc.compactions);
+        if Registry.events_enabled () then Registry.record_event name ~t0 ~t1)
   end

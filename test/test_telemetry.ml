@@ -84,6 +84,49 @@ let test_distribution_stats () =
       check Alcotest.(float 1e-9) "max" 7.0 d.max_v;
       check Alcotest.(float 1e-9) "sum" 12.0 d.sum
 
+let test_percentiles () =
+  List.iter (Counter.observe "p") (List.init 100 (fun i -> float_of_int (i + 1)));
+  (match Registry.dist_get "p" with
+  | None -> Alcotest.fail "distribution missing"
+  | Some d ->
+      check Alcotest.(float 1e-9) "p50 of 1..100" 50.0 (Registry.percentile d 0.5);
+      check Alcotest.(float 1e-9) "p95 of 1..100" 95.0 (Registry.percentile d 0.95);
+      check Alcotest.(float 1e-9) "p100 is max" 100.0 (Registry.percentile d 1.0);
+      (* nearest-rank: p -> ceil(p*n), clamped to the first sample *)
+      check Alcotest.(float 1e-9) "p0 is min" 1.0 (Registry.percentile d 0.0));
+  (* a single sample is every percentile of itself *)
+  Counter.observe "single" 42.0;
+  (match Registry.dist_get "single" with
+  | None -> Alcotest.fail "single missing"
+  | Some d ->
+      List.iter
+        (fun p ->
+          check Alcotest.(float 1e-9)
+            (Printf.sprintf "single p%.0f" (100.0 *. p))
+            42.0 (Registry.percentile d p))
+        [ 0.0; 0.5; 0.95; 1.0 ]);
+  (* ties collapse onto the tied value *)
+  List.iter (Counter.observe "tied") [ 5.0; 5.0; 5.0; 5.0; 9.0 ];
+  match Registry.dist_get "tied" with
+  | None -> Alcotest.fail "tied missing"
+  | Some d ->
+      check Alcotest.(float 1e-9) "tied p50" 5.0 (Registry.percentile d 0.5);
+      check Alcotest.(float 1e-9) "tied p95" 9.0 (Registry.percentile d 0.95)
+
+let test_span_gc_gauges () =
+  Span.with_ "alloc" (fun () ->
+      (* enough allocation that the minor-words delta cannot be zero *)
+      ignore (Sys.opaque_identity (Array.init 100_000 float_of_int)));
+  let snap = Registry.snapshot () in
+  let alloc = find_child snap.spans "alloc" in
+  check Alcotest.bool "minor words counted" true (alloc.minor_words > 0.0);
+  (* a 100k-float array is well past the minor heap's comfort: it is
+     allocated large (major words) or promoted; either way the root
+     aggregates its children *)
+  check Alcotest.bool "root sums children" true
+    (snap.spans.minor_words >= alloc.minor_words);
+  check Alcotest.bool "compactions non-negative" true (alloc.compactions >= 0)
+
 let test_snapshot_isolated_from_reset () =
   Counter.add "kept" 7;
   Span.with_ "kept_span" ignore;
@@ -233,7 +276,96 @@ let test_report_json_roundtrip () =
     |> Fun.flip Option.bind (Json.member "name")
     |> Fun.flip Option.bind Json.to_string_opt
   in
-  check Alcotest.(option string) "span tree survives" (Some "phase") span_name
+  check Alcotest.(option string) "span tree survives" (Some "phase") span_name;
+  (* the profile report carries the new observability sections: per-span
+     GC deltas and distribution percentiles *)
+  let gc =
+    Option.bind (Json.member "spans" parsed) (Json.member "gc")
+    |> Fun.flip Option.bind (Json.member "minor_words")
+  in
+  check Alcotest.bool "gc section present" true (gc <> None);
+  let p50 =
+    Option.bind (Json.member "distributions" parsed) (Json.member "d")
+    |> Fun.flip Option.bind (Json.member "p50")
+  in
+  check Alcotest.bool "dist p50 present" true
+    (p50 = Some (Json.Float 3.0))
+
+(* --- trace events and the Chrome exporter --- *)
+
+module Chrome = Apex_telemetry.Chrome
+
+let test_events_off_by_default () =
+  Span.with_ "quiet" ignore;
+  check Alcotest.int "no events recorded" 0 (List.length (Registry.events ()))
+
+let test_trace_events_multi_domain () =
+  Registry.set_events true;
+  Fun.protect ~finally:(fun () -> Registry.set_events false) @@ fun () ->
+  Span.with_ "outer" (fun () ->
+      Span.with_ "inner" (fun () -> Unix.sleepf 0.001);
+      let ctx = Registry.context () in
+      let d =
+        Domain.spawn (fun () ->
+            Registry.with_context ctx (fun () -> Span.with_ "worker" ignore))
+      in
+      Domain.join d);
+  let events = Registry.events () in
+  check Alcotest.int "three events" 3 (List.length events);
+  List.iter
+    (fun (e : Registry.event) ->
+      check Alcotest.bool (e.ev_name ^ " ts non-negative") true (e.ts_us >= 0.0);
+      check Alcotest.bool (e.ev_name ^ " dur non-negative") true
+        (e.dur_us >= 0.0))
+    events;
+  let tids =
+    List.sort_uniq compare (List.map (fun (e : Registry.event) -> e.tid) events)
+  in
+  check Alcotest.int "worker domain has its own tid" 2 (List.length tids);
+  (* nesting is recovered from time containment per tid row *)
+  let find name =
+    List.find (fun (e : Registry.event) -> e.ev_name = name) events
+  in
+  let outer = find "outer" in
+  let inner = find "inner" in
+  check Alcotest.int "outer and inner share a row" outer.Registry.tid
+    inner.Registry.tid;
+  check Alcotest.bool "inner contained in outer" true
+    (inner.Registry.ts_us +. 1e-3 >= outer.Registry.ts_us
+    && inner.Registry.ts_us +. inner.Registry.dur_us
+       <= outer.Registry.ts_us +. outer.Registry.dur_us +. 1e-3);
+  (* the exporter emits well-formed catapult JSON: it parses, carries
+     one thread_name metadata record per tid, and one complete ("X")
+     event per span occurrence *)
+  let json = roundtrip (Chrome.to_json events) in
+  match Option.bind (Json.member "traceEvents" json) Json.to_list_opt with
+  | None -> Alcotest.fail "no traceEvents array"
+  | Some evs ->
+      let phases =
+        List.filter_map
+          (fun e -> Option.bind (Json.member "ph" e) Json.to_string_opt)
+          evs
+      in
+      check Alcotest.int "thread metadata per tid" 2
+        (List.length (List.filter (String.equal "M") phases));
+      check Alcotest.int "one X event per span" 3
+        (List.length (List.filter (String.equal "X") phases));
+      List.iter
+        (fun e ->
+          match Json.member "ph" e with
+          | Some (Json.String "X") ->
+              let non_negative field =
+                match Json.member field e with
+                | Some (Json.Float f) -> f >= 0.0
+                | Some (Json.Int i) -> i >= 0
+                | _ -> false
+              in
+              check Alcotest.bool "exported ts non-negative" true
+                (non_negative "ts");
+              check Alcotest.bool "exported dur non-negative" true
+                (non_negative "dur")
+          | _ -> ())
+        evs
 
 let () =
   Alcotest.run "telemetry"
@@ -249,6 +381,10 @@ let () =
             (with_registry test_counter_arithmetic);
           Alcotest.test_case "distribution stats" `Quick
             (with_registry test_distribution_stats);
+          Alcotest.test_case "percentiles" `Quick
+            (with_registry test_percentiles);
+          Alcotest.test_case "span gc gauges" `Quick
+            (with_registry test_span_gc_gauges);
           Alcotest.test_case "snapshot isolation" `Quick
             (with_registry test_snapshot_isolated_from_reset) ] );
       ( "disabled",
@@ -266,4 +402,9 @@ let () =
           Alcotest.test_case "parser rejects garbage" `Quick
             test_json_parser_rejects_garbage;
           Alcotest.test_case "report roundtrip" `Quick
-            (with_registry test_report_json_roundtrip) ] ) ]
+            (with_registry test_report_json_roundtrip) ] );
+      ( "chrome",
+        [ Alcotest.test_case "events off by default" `Quick
+            (with_registry test_events_off_by_default);
+          Alcotest.test_case "multi-domain trace export" `Quick
+            (with_registry test_trace_events_multi_domain) ] ) ]
