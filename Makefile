@@ -53,7 +53,8 @@ ci: build test
 	dune exec bin/apex_cli.exe -- trace-check $(CI_ANALYZE) \
 	  --require analysis.facts_computed \
 	  --require analysis.nodes_eliminated \
-	  --require analysis.cones_proved
+	  --require analysis.cones_proved \
+	  --require analysis.width.checks_run
 	dune exec bin/apex_cli.exe -- lint --all --optimize --werror
 	dune exec bin/apex_cli.exe -- profile camera --check --no-cache --trace=$(CI_TRACE)
 	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
@@ -80,10 +81,11 @@ ci: build test
 # ladder recovered — and (b) leave a typed outcome in the report
 # (guard.faults_injected plus the class's own marker).  Where the
 # ladder guarantees *identical results* (a fault that only costs work:
-# SMT exhaustion degrades a proved rule to tested-only, a crashed or
-# corrupted cache entry is recomputed, a dead pool task is re-executed
-# inline) the faulted report must also be results-identical to the
-# fault-free baseline.  pair-eval and deadline legitimately change
+# SMT exhaustion degrades a proved rule to tested-only, width-SMT
+# exhaustion keeps the same narrowings on differential evidence, a
+# crashed or corrupted cache entry is recomputed, a dead pool task is
+# re-executed inline) the faulted report must also be
+# results-identical to the fault-free baseline.  pair-eval and deadline legitimately change
 # results (a pair is skipped / a search truncated), so those two assert
 # only graceful degradation, not equality.
 # Site placement matters: smt-exhaust, pool-worker and deadline need
@@ -116,6 +118,11 @@ ci-faults:
 	dune exec bin/apex_cli.exe -- dse camera --no-cache --inject-fault deadline:2000 --trace=$(CI_DSE_FAULT) > /dev/null
 	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
 	  --require guard.faults_injected --require guard.outcome.degraded
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --inject-fault width-smt-exhaust --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.degraded \
+	  --require analysis.width.tested_only
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
 	rm -rf $(CI_FAULT_CACHE)
 
 # Benchmark-trajectory regression gate: regenerate every snapshot into

@@ -538,8 +538,8 @@ let timing () =
       Test.make ~name:"merge(2 patterns)" (Staged.stage (fun () ->
           Merge.merge_all patterns));
       Test.make ~name:"synthesize rule(add)" (Staged.stage (fun () ->
-          Apex_smt.Synth.structural base.Variants.dp
-            (Apex_smt.Synth.op_pattern Op.Add)));
+          Apex_verif.Synth.structural base.Variants.dp
+            (Apex_verif.Synth.op_pattern Op.Add)));
       Test.make ~name:"map(gaussian)" (Staged.stage (fun () ->
           Cover.map_app ~rules gaussian.graph));
       Test.make ~name:"place(gaussian)" (Staged.stage (fun () ->

@@ -242,7 +242,7 @@ let mine_cmd =
 (* --- analyze (static analysis facts + validated reduction) --- *)
 
 let analyze_cmd =
-  let run () trace apps all json =
+  let run () trace apps all json widths =
     with_trace trace @@ fun () ->
     let apps =
       if all then Apex.Lint_run.all_apps ()
@@ -252,10 +252,16 @@ let analyze_cmd =
     in
     let reports = Apex.Analyze_run.run apps in
     if json then print_endline (Json.to_string (Apex.Analyze_run.to_json reports))
-    else Format.printf "%a" Apex.Analyze_run.pp reports;
-    (* a failed validation is a soundness bug in the optimizer *)
-    if not (List.for_all (fun r -> r.Apex.Analyze_run.validated) reports) then
-      exit 1
+    else Format.printf "%a" (Apex.Analyze_run.pp ~width_table:widths) reports;
+    (* a failed validation is a soundness bug in the optimizer (resp.
+       the width-inference ladder) *)
+    if
+      not
+        (List.for_all
+           (fun (r : Apex.Analyze_run.app_report) ->
+             r.validated && r.width.Apex_analysis.Width.validated)
+           reports)
+    then exit 1
   in
   let apps =
     Arg.(
@@ -272,14 +278,24 @@ let analyze_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the report as machine-readable JSON.")
   in
+  let widths =
+    Arg.(
+      value & flag
+      & info [ "widths" ]
+          ~doc:
+            "Print the per-node width table: every node whose proven width \
+             is below its natural hardware width, with its demanded and \
+             live bit masks.  (--json always includes the table.)")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Run the abstract-interpretation framework over application kernels: \
-          report value-range / known-bits facts and the validated node-count \
+         "Run the static-analysis framework over application kernels: \
+          report value-range / known-bits facts, the validated node-count \
           reduction the optimizer achieves (constant folding, identities, \
-          CSE, dead-node elimination).")
-    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json)
+          CSE, dead-node elimination), and the SMT-validated per-node \
+          widths the demanded-bits analysis proves.")
+    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json $ widths)
 
 (* --- pe (show a variant) --- *)
 
@@ -406,9 +422,9 @@ let verify_cmd =
     List.iter
       (fun (r : Apex_mapper.Rules.t) ->
         let verdict =
-          Apex_smt.Verify.verify_config v.dp r.config r.pattern
+          Apex_verif.Verify.verify_config v.dp r.config r.pattern
         in
-        Format.printf "  %-40s %a@." r.config.D.label Apex_smt.Verify.pp_verdict
+        Format.printf "  %-40s %a@." r.config.D.label Apex_verif.Verify.pp_verdict
           verdict)
       v.rules
   in
@@ -757,16 +773,38 @@ let dse_cmd =
 (* --- lint: run the checker registry over the flow's artifacts --- *)
 
 let lint_cmd =
-  let run () trace optimize apps all json werror =
+  let parse_codes flag = function
+    | None -> []
+    | Some s ->
+        let codes =
+          String.split_on_char ',' s
+          |> List.map String.trim
+          |> List.filter (fun c -> c <> "")
+        in
+        if codes = [] then
+          invalid_arg (Printf.sprintf "lint: %s needs at least one code" flag);
+        List.iter
+          (fun c ->
+            match Apex_lint.Engine.validate_code c with
+            | Ok () -> ()
+            | Error msg -> invalid_arg (Printf.sprintf "lint: %s: %s" flag msg))
+          codes;
+        codes
+  in
+  let run () trace optimize apps all json werror only except =
     with_trace trace @@ fun () ->
     set_optimize optimize;
+    let only = parse_codes "--only" only
+    and except = parse_codes "--except" except in
     let apps =
       if all then Apex.Lint_run.all_apps ()
       else if apps = [] then
         invalid_arg "lint: name at least one application, or pass --all"
       else List.map app_by_name apps
     in
-    let report = Apex.Lint_run.run apps in
+    let report =
+      Apex_lint.Engine.filter_report ~only ~except (Apex.Lint_run.run apps)
+    in
     if json then
       print_endline (Json.to_string (Apex_lint.Engine.report_to_json report))
     else Format.printf "%a" Apex_lint.Engine.pp_report report;
@@ -792,6 +830,25 @@ let lint_cmd =
       value & flag
       & info [ "werror" ] ~doc:"Exit non-zero on warnings, not just errors.")
   in
+  let only =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes to keep (e.g. \
+             $(b,APX101,APX11x)); a trailing $(b,x) is a family wildcard. \
+             Codes are validated against the catalog.")
+  in
+  let except =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "except" ] ~docv:"CODES"
+          ~doc:
+            "Comma-separated diagnostic codes to drop (same syntax as \
+             $(b,--only); applied after it).")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
@@ -800,7 +857,7 @@ let lint_cmd =
           against the APX invariant catalog (see DESIGN.md).")
     Term.(
       const run $ exec_t $ trace_arg $ optimize_arg $ apps $ all $ json
-      $ werror)
+      $ werror $ only $ except)
 
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 

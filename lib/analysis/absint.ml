@@ -157,26 +157,30 @@ let transfer (op : Op.t) (f : int -> fact) =
         | Some vals -> of_const (Sem.eval op vals)
         | None -> top_bit)
 
+(* the forward reduced product as a Dataflow instance: the seed is ⊤
+   for the node's width (matching the old sweep's initial array) and
+   the transfer is [transfer] above lifted to graph nodes *)
+module Problem = struct
+  type nonrec fact = fact
+
+  let name = "absint"
+
+  let direction = Dataflow.Forward
+
+  let equal = fact_equal
+
+  let init _g (nd : G.node) =
+    match Op.result_width nd.op with Op.Word -> top_word | Op.Bit -> top_bit
+
+  let transfer _g ~succs:_ (nd : G.node) get =
+    transfer nd.op (fun i -> get nd.args.(i))
+end
+
+module Engine = Dataflow.Make (Problem)
+
 let analyze (g : G.t) =
-  let n = G.length g in
-  let facts = Array.make n top_word in
-  let changed = ref true in
-  let passes = ref 0 in
-  (* one forward sweep reaches the fixpoint on a DAG; the loop guards
-     against transfer functions that are accidentally non-monotone *)
-  while !changed && !passes < 4 do
-    changed := false;
-    incr passes;
-    Array.iter
-      (fun (nd : G.node) ->
-        let f' = transfer nd.op (fun i -> facts.(nd.args.(i))) in
-        if not (fact_equal facts.(nd.id) f') then begin
-          facts.(nd.id) <- f';
-          changed := true
-        end)
-      (G.nodes g)
-  done;
-  Apex_telemetry.Counter.add "analysis.facts_computed" n;
+  let facts = Engine.solve g in
+  Apex_telemetry.Counter.add "analysis.facts_computed" (G.length g);
   facts
 
 let is_top (nd : G.node) f =

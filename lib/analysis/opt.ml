@@ -72,6 +72,10 @@ let constrain c bv (f : Absint.fact) w =
     end
   end
 
+(* the width-inference queries in [Width] share this encoding, so
+   "constrained by the forward facts" means the same thing everywhere *)
+let constrain_fact = constrain
+
 (* prove [node.op args = repl] under the argument facts *)
 let validate_rewrite g (facts : Absint.fact array) (nd : G.node) repl =
   let c = Bv.create ~word_width:16 () in

@@ -41,6 +41,13 @@ val choose_rewrite :
 (** The rewrite the fact base justifies for one node, if any (exposed
     for the lint checkers and tests). *)
 
+val constrain_fact :
+  Apex_smt.Bv.ctx -> Apex_smt.Bv.bv -> Absint.fact -> int -> unit
+(** Constrain a fresh bit-vector of the given width by an abstract
+    fact: known bits as unit clauses, a non-full interval as an
+    unsigned-range side condition.  Shared with {!Width} so every SMT
+    discharge reads the fact base identically. *)
+
 val validate_rewrite :
   Apex_dfg.Graph.t -> Absint.fact array -> Apex_dfg.Graph.node -> repl -> bool
 (** Discharge one rewrite by SMT at the full 16-bit width. *)

@@ -130,7 +130,13 @@ let run area =
               (Apps.evaluated ())
           in
           let pairs = List.map (fun a -> (variant, a)) mappable in
-          measure Dse (fun () -> ignore (Dse.evaluate_pairs pairs)))
+          measure Dse (fun () ->
+              (* materialize the width-aware PE area as an exact integer
+                 counter (0.1 um^2 units) so snapshot diffs surface area
+                 regressions, not just time bands *)
+              Apex_telemetry.Counter.add "dse.pe_area_um2_x10"
+                (int_of_float ((Apex_peak.Cost.pe_area dp *. 10.0) +. 0.5));
+              ignore (Dse.evaluate_pairs pairs)))
 
 let to_json t =
   Json.Obj

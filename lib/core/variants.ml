@@ -81,7 +81,8 @@ let pe1 (app : Apps.t) =
 let merge_into dp patterns =
   Store.memoize ~ns:"merge"
     ~key:
-      (Store.key ~version:"merge/1"
+      (* merge/2: datapath nodes carry proven widths *)
+      (Store.key ~version:"merge/2"
          [ Store.fingerprint (dp.D.nodes, dp.D.edges, dp.D.configs);
            Store.fingerprint (List.map Pattern.code patterns) ])
     (fun () -> List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns)

@@ -1,6 +1,9 @@
 type node = { id : int; op : Op.t; args : int array }
 
-type t = { nodes : node array }
+(* [widths] is a post-hoc analysis annotation (proven result width per
+   node id, set by [Apex_analysis.Width]); every structural
+   transformation drops it, since the proof is per-graph *)
+type t = { nodes : node array; mutable widths : int array option }
 
 let nodes g = g.nodes
 
@@ -40,7 +43,7 @@ let count g pred =
 
 (* testing escape hatch: the lint suite builds deliberately corrupt
    graphs through this; everything else goes through Builder *)
-let of_nodes_unchecked nodes = { nodes = Array.copy nodes }
+let of_nodes_unchecked nodes = { nodes = Array.copy nodes; widths = None }
 
 let validate g =
   let exception Bad of string in
@@ -118,11 +121,12 @@ module Builder = struct
   let add2 b op a0 a1 = add b op [| a0; a1 |]
   let add3 b op a0 a1 a2 = add b op [| a0; a1; a2 |]
 
-  let finish b = { nodes = Array.sub b.buf 0 b.len }
+  let finish b = { nodes = Array.sub b.buf 0 b.len; widths = None }
 end
 
 let map_ops g f =
-  { nodes = Array.map (fun n -> { n with op = f n.op }) g.nodes }
+  { nodes = Array.map (fun n -> { n with op = f n.op }) g.nodes;
+    widths = None }
 
 let induced g ids =
   let keep = Hashtbl.create 16 in
@@ -161,6 +165,15 @@ let induced g ids =
       end)
     g.nodes;
   (Builder.finish b, List.rev !mapping)
+
+let annotate_widths g widths =
+  if Array.length widths <> length g then
+    invalid_arg
+      (Printf.sprintf "Graph.annotate_widths: %d widths for %d nodes"
+         (Array.length widths) (length g));
+  g.widths <- Some (Array.copy widths)
+
+let widths g = Option.map Array.copy g.widths
 
 let op_histogram g =
   let tbl = Hashtbl.create 16 in

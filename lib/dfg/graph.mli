@@ -76,6 +76,17 @@ val induced : t -> int list -> t * (int * int) list
     nodes.  Returns the new graph and the mapping from old compute ids to
     new ids. *)
 
+val annotate_widths : t -> int array -> unit
+(** Attach a proven result width (in bits) per node id — the one
+    mutable annotation on an otherwise immutable graph, written by
+    [Apex_analysis.Width] after its narrowings are validated.
+    Structural transformations ({!map_ops}, {!induced}, {!Builder})
+    never carry the annotation over, since the proof is per-graph.
+    @raise Invalid_argument on a length mismatch. *)
+
+val widths : t -> int array option
+(** The width annotation, if {!annotate_widths} has been called. *)
+
 val op_histogram : t -> (string * int) list
 (** Number of nodes per {!Op.mnemonic}, sorted by mnemonic. *)
 

@@ -152,6 +152,10 @@ module Fault = struct
       ("store-crash", "crash mid cache write: torn temp file, entry never published");
       ("pool-worker", "pool task raises: re-executed inline by the submitting domain");
       ("pair-eval", "one (variant, app) evaluation fails: pair skipped, fleet continues");
+      ("width-smt-exhaust",
+       "width-narrowing SMT proofs unavailable: narrowings kept on \
+        differential-interpreter evidence (tested-only, identical widths); \
+        if that too fails, widths revert to the 16-bit naturals");
       ("deadline", "deadline expires mid-phase: phase returns best-so-far") ]
 
   let site_names = List.map fst sites

@@ -14,7 +14,7 @@ module G = Apex_dfg.Graph
 module Pattern = Apex_mining.Pattern
 module Dp = Apex_merging.Datapath
 module Rules = Apex_mapper.Rules
-module Verify = Apex_smt.Verify
+module Verify = Apex_verif.Verify
 module D = Diagnostic
 
 (* SAT budget for re-verification: small enough to keep `apex lint --all`

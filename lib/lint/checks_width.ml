@@ -1,0 +1,108 @@
+(* Width-annotation lint backed by the demanded-bits (backward) and
+   known-bits (forward) analyses.
+
+   APX110 is a NOTE: the graph carries provable narrowing opportunity —
+   either it has no width annotation yet (one aggregate note) or an
+   annotated width sits above what the analyses prove.  APX111 and
+   APX112 are ERRORS: an annotation that truncates provably live bits
+   is unsound, as is a mux annotated narrower than an arm whose live
+   bits it must pass through.
+
+   The analyses assume a valid graph, so this checker refuses corrupt
+   input (the structural APX00x checkers already report it). *)
+
+module Op = Apex_dfg.Op
+module G = Apex_dfg.Graph
+module D = Diagnostic
+module Absint = Apex_analysis.Absint
+module Kbits = Apex_analysis.Kbits
+module Demand = Apex_analysis.Demand
+module Width = Apex_analysis.Width
+
+let natural_bits (nd : G.node) =
+  match Op.result_width nd.op with Op.Word -> 16 | Op.Bit -> 1
+
+let natural_mask (nd : G.node) =
+  match Op.result_width nd.op with Op.Word -> 0xffff | Op.Bit -> 1
+
+let run (g : G.t) =
+  match G.validate g with
+  | Error _ -> []
+  | Ok () ->
+      let facts = Absint.analyze g in
+      let demanded = Demand.analyze g in
+      let nodes = G.nodes g in
+      (* narrowest width local reasoning can justify: demanded bits
+         that are not known-zero *)
+      let proven i =
+        let nd = nodes.(i) in
+        let live =
+          demanded.(i)
+          land lnot facts.(i).Absint.kb.Kbits.zeros
+          land natural_mask nd
+        in
+        if live = 0 then 1 else Width.width_of_mask live
+      in
+      let diags = ref [] in
+      let emit d = diags := d :: !diags in
+      (match G.widths g with
+      | None ->
+          (* unannotated graph: one aggregate opportunity note instead
+             of a line per node *)
+          let opportunity, bits =
+            Array.fold_left
+              (fun (n, b) (nd : G.node) ->
+                let w = proven nd.G.id and nat = natural_bits nd in
+                if Op.is_compute nd.G.op && w < nat then (n + 1, b + nat - w)
+                else (n, b))
+              (0, 0) nodes
+          in
+          if opportunity > 0 then
+            emit
+              (D.notef ~code:"APX110"
+                 "%d node%s provably narrower than natural width (%d bits \
+                  total): run width inference"
+                 opportunity
+                 (if opportunity = 1 then "" else "s")
+                 bits)
+      | Some widths ->
+          Array.iter
+            (fun (nd : G.node) ->
+              let i = nd.G.id in
+              let w = widths.(i) and nat = natural_bits nd in
+              let need = proven i in
+              if w < 1 || w > nat then
+                emit
+                  (D.errorf ~loc:(D.Node i) ~code:"APX111"
+                     "annotated width %d outside 1..%d" w nat)
+              else if w < need then
+                emit
+                  (D.errorf ~loc:(D.Node i) ~code:"APX111"
+                     "annotated width %d truncates provably live bits \
+                      (demand and known-bits require %d)"
+                     w need)
+              else if Op.is_compute nd.G.op && w > need then
+                emit
+                  (D.notef ~loc:(D.Node i) ~code:"APX110"
+                     "annotated width %d exceeds the proven demand of %d" w
+                     need);
+              (* a mux passes an arm straight through: live arm bits
+                 under the mux's demand must fit in the mux's width *)
+              if nd.G.op = Op.Mux && w >= 1 && w <= nat then
+                List.iter
+                  (fun (label, a) ->
+                    let arm_live =
+                      ((1 lsl widths.(a)) - 1)
+                      land lnot facts.(a).Absint.kb.Kbits.zeros
+                      land demanded.(i) land natural_mask nodes.(a)
+                    in
+                    if Width.width_of_mask arm_live > w && arm_live <> 0 then
+                      emit
+                        (D.errorf ~loc:(D.Node i) ~code:"APX112"
+                           "mux width %d truncates its %s arm (node %d, \
+                            live bits up to %d)"
+                           w label a
+                           (Width.width_of_mask arm_live)))
+                  [ ("true", nd.G.args.(1)); ("false", nd.G.args.(2)) ])
+            nodes);
+      List.rev !diags

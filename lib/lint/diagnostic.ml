@@ -178,6 +178,19 @@ let catalog =
     { code_info = "APX103"; layer = "analysis"; default_severity = Warning;
       invariant =
         "no structurally duplicate pure node (same op, same arguments)" };
+    (* width annotations (demanded-bits / known-bits) *)
+    { code_info = "APX110"; layer = "analysis"; default_severity = Note;
+      invariant =
+        "no node wider than its proven demand (unexploited narrowing \
+         opportunity; aggregate note on unannotated graphs)" };
+    { code_info = "APX111"; layer = "analysis"; default_severity = Error;
+      invariant =
+        "annotated widths are in range and cover every provably live bit \
+         (demanded and not known-zero)" };
+    { code_info = "APX112"; layer = "analysis"; default_severity = Error;
+      invariant =
+        "mux widths are consistent across arms: live arm bits under the \
+         mux's demand fit the mux's annotated width" };
     (* pipelining *)
     { code_info = "APX060"; layer = "pipeline"; default_severity = Error;
       invariant =

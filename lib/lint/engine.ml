@@ -47,6 +47,11 @@ let builtins =
         (function
         | Dfg { graph; _ } -> Some (Checks_analysis.run graph) | _ -> None)
     };
+    { name = "width";
+      check =
+        (function
+        | Dfg { graph; _ } -> Some (Checks_width.run graph) | _ -> None)
+    };
     { name = "datapath";
       check =
         (function
@@ -163,3 +168,32 @@ let report_to_json r =
 
 let exit_code ~werror r =
   if errors r > 0 then 1 else if werror && warnings r > 0 then 1 else 0
+
+(* --- code filters (--only / --except) --- *)
+
+(* "APX110" matches itself; a trailing 'x' is a family wildcard:
+   "APX11x" matches every same-length code starting "APX11". *)
+let code_matches ~pat code =
+  let n = String.length pat in
+  if n > 0 && (pat.[n - 1] = 'x' || pat.[n - 1] = 'X') then
+    String.length code = n
+    && String.sub code 0 (n - 1) = String.sub pat 0 (n - 1)
+  else String.equal pat code
+
+let validate_code pat =
+  if
+    List.exists
+      (fun (i : D.info) -> code_matches ~pat i.D.code_info)
+      D.catalog
+  then Ok ()
+  else
+    Error
+      (Printf.sprintf
+         "unknown lint code %S (see the invariant catalog in DESIGN.md)" pat)
+
+let filter_report ?(only = []) ?(except = []) r =
+  let keep code =
+    (only = [] || List.exists (fun pat -> code_matches ~pat code) only)
+    && not (List.exists (fun pat -> code_matches ~pat code) except)
+  in
+  { r with findings = List.filter (fun f -> keep f.diag.D.code) r.findings }

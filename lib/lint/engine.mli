@@ -45,8 +45,8 @@ type checker = {
 }
 
 val builtins : checker list
-(** The four built-in checkers: ["dfg"], ["datapath"], ["rules"],
-    ["pipeline"] (PE and application plans). *)
+(** The built-in checkers: ["dfg"], ["analysis"], ["width"],
+    ["datapath"], ["rules"], ["pipeline"] (PE and application plans). *)
 
 val register : checker -> unit
 (** Append a custom checker to the global registry (after builtins). *)
@@ -82,3 +82,17 @@ val report_to_json : report -> Apex_telemetry.Json.t
 
 val exit_code : werror:bool -> report -> int
 (** 0 when clean, 1 on any error — or any warning under [~werror]. *)
+
+val code_matches : pat:string -> string -> bool
+(** Exact match, or family wildcard with a trailing ['x']: ["APX11x"]
+    matches every same-length code starting ["APX11"]. *)
+
+val validate_code : string -> (unit, string) result
+(** [Ok ()] when the pattern matches at least one catalog entry. *)
+
+val filter_report :
+  ?only:string list -> ?except:string list -> report -> report
+(** Keep only findings whose code matches some [only] pattern (all, if
+    [only] is empty) and no [except] pattern.  [artifacts]/[checks]
+    counts are preserved; severity counts and {!exit_code} follow the
+    filtered findings. *)

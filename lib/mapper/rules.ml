@@ -2,8 +2,8 @@ module Op = Apex_dfg.Op
 module G = Apex_dfg.Graph
 module Pattern = Apex_mining.Pattern
 module D = Apex_merging.Datapath
-module Synth = Apex_smt.Synth
-module Verify = Apex_smt.Verify
+module Synth = Apex_verif.Synth
+module Verify = Apex_verif.Verify
 
 type t = {
   pattern : Pattern.t;

@@ -2,10 +2,16 @@ module Op = Apex_dfg.Op
 module G = Apex_dfg.Graph
 module Pattern = Apex_mining.Pattern
 module Tech = Apex_models.Tech
+module Width = Apex_analysis.Width
 
 type unit_kind = Fu of string | Creg | In_port | Bit_in_port
 
-type node = { id : int; kind : unit_kind; ops : Op.t list }
+type node = { id : int; kind : unit_kind; ops : Op.t list; width : int }
+
+(* the full hardware width a unit has when no analysis narrowed it *)
+let natural_width = function
+  | Fu ("cmp" | "lut") | Bit_in_port -> 1
+  | Fu _ | Creg | In_port -> 16
 
 type edge = { src : int; dst : int; port : int }
 
@@ -29,14 +35,21 @@ let result_width (n : node) =
 
 let of_pattern p =
   let pg = Pattern.graph p in
+  (* Width inference on the standalone pattern graph: its inputs are
+     unconstrained, so a width proven here is context-free — valid for
+     every embedding of the pattern and every configuration realizing
+     it.  Every narrowing inside [w] was SMT-discharged (or reverted)
+     by [Width.infer]'s ladder. *)
+  let w = Width.infer pg in
+  let pw (n : G.node) nat = min nat w.Width.widths.(n.G.id) in
   let nodes = ref [] in
   let edges = ref [] in
   let remap = Hashtbl.create 16 in
   let next = ref 0 in
-  let fresh kind ops =
+  let fresh kind ops width =
     let id = !next in
     incr next;
-    nodes := { id; kind; ops } :: !nodes;
+    nodes := { id; kind; ops; width } :: !nodes;
     id
   in
   let fu_ops = ref [] and routes = ref [] and consts = ref [] in
@@ -46,19 +59,19 @@ let of_pattern p =
     (fun (n : G.node) ->
       match n.op with
       | Op.Input _ ->
-          let id = fresh In_port [] in
+          let id = fresh In_port [] (pw n 16) in
           Hashtbl.replace remap n.id id;
           inputs := (n.id, id) :: !inputs
       | Op.Bit_input _ ->
-          let id = fresh Bit_in_port [] in
+          let id = fresh Bit_in_port [] 1 in
           Hashtbl.replace remap n.id id;
           inputs := (n.id, id) :: !inputs
       | Op.Const v ->
-          let id = fresh Creg [ Op.Const v ] in
+          let id = fresh Creg [ Op.Const v ] (pw n 16) in
           Hashtbl.replace remap n.id id;
           consts := (id, v land 0xffff) :: !consts
       | Op.Bit_const b ->
-          let id = fresh Creg [ Op.Bit_const b ] in
+          let id = fresh Creg [ Op.Bit_const b ] 1 in
           Hashtbl.replace remap n.id id;
           consts := (id, if b then 1 else 0) :: !consts
       | Op.Output _ | Op.Bit_output _ ->
@@ -66,7 +79,8 @@ let of_pattern p =
           outputs := (!n_out, src) :: !outputs;
           incr n_out
       | op when Op.is_compute op ->
-          let id = fresh (Fu (Op.kind op)) [ op ] in
+          let kind = Fu (Op.kind op) in
+          let id = fresh kind [ op ] (pw n (natural_width kind)) in
           Hashtbl.replace remap n.id id;
           fu_ops := (id, op) :: !fu_ops;
           Array.iteri
@@ -127,6 +141,11 @@ let validate dp =
     Array.iteri
       (fun i nd ->
         if nd.id <> i then raise (Bad (Printf.sprintf "node %d id mismatch" i));
+        if nd.width < 1 || nd.width > natural_width nd.kind then
+          raise
+            (Bad
+               (Printf.sprintf "node %d: width %d outside 1..%d" i nd.width
+                  (natural_width nd.kind)));
         match nd.kind with
         | Fu k ->
             if nd.ops = [] then raise (Bad (Printf.sprintf "FU %d has no ops" i));
@@ -269,7 +288,8 @@ let n_config_bits dp =
       (fun acc n ->
         match n.kind with
         | Fu _ -> acc + log2ceil (List.length (List.sort_uniq Op.compare n.ops))
-        | Creg -> acc + 16
+        (* a narrowed constant register only stores its proven width *)
+        | Creg -> acc + n.width
         | In_port | Bit_in_port -> acc)
       0 dp.nodes
   in
@@ -293,8 +313,14 @@ let area dp =
               | [] -> 0.0
               | _ :: rest -> List.fold_left (fun a op -> a +. Tech.op_slice op) 0.0 rest
             in
-            acc +. (Tech.kind_cost k).area +. slices
-        | Creg -> acc +. Tech.const_register_cost.area
+            (* block and slices shrink together with the proven width *)
+            acc
+            +. (((Tech.kind_cost k).area +. slices)
+                *. Tech.width_factor ~kind:k ~width:n.width)
+        | Creg ->
+            acc
+            +. (Tech.const_register_cost.area
+                *. Tech.width_factor ~kind:"creg" ~width:n.width)
         | In_port | Bit_in_port -> acc)
       0.0 dp.nodes
   in
@@ -307,7 +333,19 @@ let area dp =
           if port < Array.length widths then widths.(port) else Op.Word
         in
         let c = (Tech.word_mux_cost n).area in
-        acc +. (match w with Op.Word -> c | Op.Bit -> c /. 16.0))
+        match w with
+        | Op.Word ->
+            (* the mux only switches the sources' live bits: anything
+               above a producer's proven width is a known-zero or
+               never-demanded wire, not a switched one *)
+            let wmax =
+              List.fold_left
+                (fun acc s -> max acc dp.nodes.(s).width)
+                1
+                (sources dp ~dst ~port)
+            in
+            acc +. (c *. Tech.width_factor ~kind:"mux" ~width:wmax)
+        | Op.Bit -> acc +. (c /. 16.0))
       0.0 (mux_points dp)
   in
   let out_mux_area =
@@ -338,17 +376,8 @@ let pp ppf dp =
     dp.edges;
   Format.fprintf ppf "@]"
 
-let dot_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+(* one DOT escaper for the whole flow *)
+let dot_escape = Apex_dfg.Dot.escape
 
 (* deterministic: nodes in id order, edges sorted by (src, dst, port),
    labels escaped — stable goldens no matter how the merge ordered the

@@ -23,6 +23,10 @@ type node = {
   (** for [Fu]: the operations the block must support (its kind's ops
       only); for [Creg]: the constant values observed (informational —
       the register is configurable) *)
+  width : int;
+  (** proven datapath width in bits, 1..16.  Word units start at the
+      native 16 and are narrowed by {!Apex_analysis.Width} when every
+      merged pattern's demand allows it; bit-level units are 1. *)
 }
 
 type edge = { src : int; dst : int; port : int }
@@ -53,6 +57,10 @@ val validate : t -> (unit, string) result
 
 val result_width : node -> Apex_dfg.Op.width
 (** Width of the value a node produces. *)
+
+val natural_width : unit_kind -> int
+(** Full width of a unit before narrowing: 1 for bit-level units
+    ("cmp"/"lut" FUs and bit input ports), 16 otherwise. *)
 
 val sources : t -> dst:int -> port:int -> int list
 (** All static sources feeding a port (>= 2 means an intraconnect mux). *)

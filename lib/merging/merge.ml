@@ -31,18 +31,27 @@ let all_commutative (n : D.node) =
       List.for_all (fun op -> Op.is_commutative op && Op.arity op = 2) n.ops
   | _ -> false
 
-(* area saved by applying a merge *)
+(* Area saved by applying a merge, under the width-aware model: two
+   blocks of widths wa and wb collapse into one of width max(wa, wb),
+   so the saving is the block at the *narrower* width (factor 1.0 when
+   both sides are full 16-bit, reproducing the width-oblivious
+   weights). *)
 let node_weight (a : D.node) (b : D.node) =
   match (a.kind, b.kind) with
   | D.Fu k, D.Fu _ ->
-      let block = (Tech.kind_cost k).area in
+      let block =
+        (Tech.kind_cost k).area
+        *. Tech.width_factor ~kind:k ~width:(min a.width b.width)
+      in
       let slice =
         match b.ops with
         | [ op ] when not (List.mem op a.ops) -> Tech.op_slice op
         | _ -> 0.0
       in
       block -. slice
-  | D.Creg, D.Creg -> Tech.const_register_cost.area
+  | D.Creg, D.Creg ->
+      Tech.const_register_cost.area
+      *. Tech.width_factor ~kind:"creg" ~width:(min a.width b.width)
   | D.In_port, D.In_port -> (Interconnect.cb_cost Interconnect.default).area
   | D.Bit_in_port, D.Bit_in_port ->
       (Interconnect.cb_bit_cost Interconnect.default).area
@@ -51,7 +60,10 @@ let node_weight (a : D.node) (b : D.node) =
 let edge_weight (dp : D.t) (ea : D.edge) =
   let w =
     match (D.result_width dp.nodes.(ea.src) : Op.width) with
-    | Op.Word -> (Tech.word_mux_cost 2).area
+    | Op.Word ->
+        (* the shared wire is only as wide as its producer's live bits *)
+        (Tech.word_mux_cost 2).area
+        *. Tech.width_factor ~kind:"mux" ~width:dp.nodes.(ea.src).width
     | Op.Bit -> (Tech.word_mux_cost 2).area /. 16.0
   in
   w
@@ -126,19 +138,20 @@ let reconstruct (a : D.t) (b : D.t) (bcfg : D.config) clique =
   let m = build_mapping clique in
   let nodes = ref (Array.to_list a.nodes) in
   let next = ref (Array.length a.nodes) in
-  (* extend ops of merged A nodes *)
-  let amended : (int, Op.t list) Hashtbl.t = Hashtbl.create 16 in
+  (* extend ops of merged A nodes; a merged unit must be wide enough
+     for both sides, so widths join by max *)
+  let amended : (int, Op.t list * int) Hashtbl.t = Hashtbl.create 16 in
   Array.iter
     (fun (nb : D.node) ->
       match Hashtbl.find_opt m nb.id with
       | Some aid ->
-          let prev =
+          let prev_ops, prev_w =
             match Hashtbl.find_opt amended aid with
-            | Some ops -> ops
-            | None -> a.nodes.(aid).ops
+            | Some x -> x
+            | None -> (a.nodes.(aid).ops, a.nodes.(aid).width)
           in
           Hashtbl.replace amended aid
-            (List.sort_uniq Op.compare (prev @ nb.ops))
+            (List.sort_uniq Op.compare (prev_ops @ nb.ops), max prev_w nb.width)
       | None ->
           let id = !next in
           incr next;
@@ -149,7 +162,7 @@ let reconstruct (a : D.t) (b : D.t) (bcfg : D.config) clique =
     List.map
       (fun (n : D.node) ->
         match Hashtbl.find_opt amended n.id with
-        | Some ops -> { n with ops }
+        | Some (ops, width) -> { n with ops; width }
         | None -> n)
       !nodes
     |> Array.of_list

@@ -68,6 +68,27 @@ let op_slice (op : Op.t) =
   | Op.Lut _ -> 0.0
   | _ -> 0.0
 
+(* --- width-aware scaling --- *)
+
+let word_width = 16
+
+(* Scale factor for a word unit whose operands are proven narrower than
+   the native 16 bits.  Exactly 1.0 at full width, so every calibrated
+   absolute number above is untouched unless the width analysis proved
+   a reduction.  Multipliers shrink quadratically (the partial-product
+   array is w*w); ripple/mux/register structures shrink linearly; "lut"
+   is already bit-level and never scales. *)
+let width_factor ~kind ~width =
+  let w = max 1 (min word_width width) in
+  let r = float_of_int w /. float_of_int word_width in
+  match kind with
+  | "mul" -> r *. r
+  (* bit-result units: a LUT is already bit-level, and a comparator's
+     datapath is sized by its word inputs, not its 1-bit result — the
+     node's proven (output) width says nothing about either *)
+  | "lut" | "cmp" -> 1.0
+  | _ -> r
+
 let word_mux_cost n =
   if n <= 1 then c 0.0 0.0 0.0
   else

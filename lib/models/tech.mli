@@ -29,6 +29,16 @@ val op_slice : Apex_dfg.Op.t -> float
 (** Incremental area (um^2) of adding this operation to an existing
     block of its kind. *)
 
+val word_width : int
+(** Native datapath width: 16 bits. *)
+
+val width_factor : kind:string -> width:int -> float
+(** Area/energy scale factor for a unit of the given
+    {!Apex_dfg.Op.kind} built at a proven [width] instead of the native
+    16 bits: 1.0 at full width (the calibrated table is exact there),
+    quadratic in width for "mul", linear for everything else, constant
+    1.0 for the already-bit-level "lut".  Clamped to [1, 16]. *)
+
 val word_mux_cost : int -> cost
 (** Cost of an n-to-1 16-bit multiplexer (intraconnect mux inserted by
     datapath merging). *)

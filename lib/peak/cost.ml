@@ -40,17 +40,30 @@ let avg_op_energy ops =
       List.fold_left (fun acc op -> acc +. (Tech.op_cost op).energy) 0.0 ops
       /. float_of_int (List.length ops)
 
+(* Switching energy scales with the bits that actually toggle, so a
+   unit narrowed by the width analysis pays proportionally less —
+   quadratically for multipliers, like area.  Delay is deliberately NOT
+   scaled: the critical path through e.g. a narrowed adder shortens
+   sub-linearly and the PE is clocked at the full-width period anyway,
+   so scaling delay would overclaim. *)
+let fu_width_factor (n : D.node) =
+  match n.kind with
+  | D.Fu k -> Tech.width_factor ~kind:k ~width:n.width
+  | D.Creg -> Tech.width_factor ~kind:"creg" ~width:n.width
+  | D.In_port | D.Bit_in_port -> 1.0
+
 let config_energy (dp : D.t) (cfg : D.config) =
   let active = active_nodes dp cfg in
   let active_energy =
     Hashtbl.fold
       (fun id () acc ->
-        match dp.nodes.(id).kind with
+        let nd = dp.nodes.(id) in
+        match nd.kind with
         | D.Fu _ -> (
             match List.assoc_opt id cfg.fu_ops with
             | None -> acc
             | Some op ->
-                let fu = (Tech.op_cost op).energy in
+                let fu = (Tech.op_cost op).energy *. fu_width_factor nd in
                 let muxes =
                   let e = ref 0.0 in
                   for port = 0 to Op.arity op - 1 do
@@ -60,7 +73,7 @@ let config_energy (dp : D.t) (cfg : D.config) =
                   !e
                 in
                 acc +. fu +. muxes)
-        | D.Creg -> acc +. Tech.const_register_cost.energy
+        | D.Creg -> acc +. (Tech.const_register_cost.energy *. fu_width_factor nd)
         | D.In_port | D.Bit_in_port -> acc)
       active 0.0
   in
@@ -69,7 +82,7 @@ let config_energy (dp : D.t) (cfg : D.config) =
       (fun acc (n : D.node) ->
         match n.kind with
         | D.Fu _ when not (Hashtbl.mem active n.id) ->
-            acc +. (idle_activity *. avg_op_energy n.ops)
+            acc +. (idle_activity *. avg_op_energy n.ops *. fu_width_factor n)
         | _ -> acc)
       0.0 dp.nodes
   in

@@ -28,7 +28,9 @@ let subset ~ops =
   let fresh kind ops =
     let id = !next in
     incr next;
-    nodes := { D.id; kind; ops } :: !nodes;
+    (* the library baseline exposes full-width units; only mined
+       patterns carry proven narrowings *)
+    nodes := { D.id; kind; ops; width = D.natural_width kind } :: !nodes;
     id
   in
   let in0 = fresh D.In_port [] in

@@ -3,6 +3,8 @@ module G = Apex_dfg.Graph
 module Pattern = Apex_mining.Pattern
 module D = Apex_merging.Datapath
 module Spec = Apex_peak.Spec
+module Bv = Apex_smt.Bv
+module Sat = Apex_smt.Sat
 
 type rule = {
   pattern : Pattern.t;

@@ -4,6 +4,8 @@ module Sem = Apex_dfg.Sem
 module Interp = Apex_dfg.Interp
 module Pattern = Apex_mining.Pattern
 module D = Apex_merging.Datapath
+module Bv = Apex_smt.Bv
+module Sat = Apex_smt.Sat
 
 type verdict =
   | Proved of int

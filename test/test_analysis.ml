@@ -226,6 +226,388 @@ let test_absint_analyze () =
   Alcotest.(check bool) "reg is top" true
     (Absint.is_top (G.nodes g).(r) facts.(r))
 
+(* --- variable-amount shifts: exhaustive small-input sweeps --- *)
+
+(* Every value of a small segment shifted by every amount 0..20
+   (through the >= 16 saturation point), both with a constant-amount
+   segment and with one wide unknown-amount segment: the concrete
+   result must lie in the abstract transfer's result. *)
+let test_itv_var_shift_exhaustive () =
+  let shifts =
+    [ ("shl", Itv.shl, Op.Shl); ("lshr", Itv.lshr, Op.Lshr);
+      ("ashr", Itv.ashr, Op.Ashr) ]
+  in
+  let bases = [ 0; 0x00fc; 0x7ffc; 0x8000; 0xfff8 ] in
+  List.iter
+    (fun (name, f, op) ->
+      List.iter
+        (fun base ->
+          let a = Itv.make base ((base + 7) land mask) in
+          let any_amt = f a (Itv.make 0 20) in
+          for amt = 0 to 20 do
+            let per_amt = f a (Itv.const amt) in
+            for v = 0 to 7 do
+              let va = (base + v) land mask in
+              let c = Sem.eval op [| va; amt |] in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s(%#x, const %d) sound" name va amt)
+                true (Itv.mem c per_amt);
+              Alcotest.(check bool)
+                (Printf.sprintf "%s(%#x, [0,20] at %d) sound" name va amt)
+                true (Itv.mem c any_amt)
+            done
+          done)
+        bases)
+    shifts
+
+let test_kbits_var_shift_exhaustive () =
+  let shifts =
+    [ ("shl", Kbits.shl, Op.Shl); ("lshr", Kbits.lshr, Op.Lshr);
+      ("ashr", Kbits.ashr, Op.Ashr) ]
+  in
+  let values = [ 0; 1; 0x00ff; 0x5555; 0x8000; 0xabcd; 0xffff ] in
+  List.iter
+    (fun (name, f, op) ->
+      List.iter
+        (fun v ->
+          let a = Kbits.const v in
+          (* fully known amount, exhaustively through saturation *)
+          for amt = 0 to 20 do
+            let c = Sem.eval op [| v; amt |] in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s(%#x, const %d) sound" name v amt)
+              true
+              (Kbits.mem c (f a (Kbits.const amt)));
+            (* amount with unknown bits: only zeros/ones both shifted
+               ways may survive *)
+            let fuzzy_amt =
+              { Kbits.zeros = lnot amt land mask land lnot 0b101;
+                ones = amt land lnot 0b101 }
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s(%#x, fuzzy %d) sound" name v amt)
+              true
+              (Kbits.mem c (f a fuzzy_amt))
+          done)
+        values)
+    shifts
+
+(* --- Lut vs Sem: exhaustive over every table and input combination --- *)
+
+let test_lut_exhaustive () =
+  for tt = 0 to 255 do
+    for idx = 0 to 7 do
+      let a = (idx lsr 2) land 1
+      and b = (idx lsr 1) land 1
+      and c = idx land 1 in
+      check Alcotest.int
+        (Printf.sprintf "lut table %#x index %d" tt idx)
+        ((tt lsr idx) land 1)
+        (Sem.eval (Op.Lut tt) [| a; b; c |])
+    done
+  done;
+  (* non-boolean word inputs must be truncated to their low bit *)
+  check Alcotest.int "lut truncates word inputs" 1
+    (Sem.eval (Op.Lut 0x80) [| 0xffff; 3; 0xab01 |])
+
+(* --- the generic dataflow engine --- *)
+
+let test_dataflow_backward_liveness () =
+  (* a reachability problem distinct from Demand: node is live iff an
+     output transitively uses it *)
+  let module Live = struct
+    type fact = bool
+
+    let name = "live"
+    let direction = Apex_analysis.Dataflow.Backward
+    let equal = Bool.equal
+
+    let init _ (nd : G.node) =
+      match nd.G.op with Op.Output _ | Op.Bit_output _ -> true | _ -> false
+
+    let transfer _ ~succs (nd : G.node) get =
+      match nd.G.op with
+      | Op.Output _ | Op.Bit_output _ -> true
+      | _ -> List.exists get succs.(nd.G.id)
+  end in
+  let module E = Apex_analysis.Dataflow.Make (Live) in
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let s = G.Builder.add2 b Op.Add x y in
+  let dead = G.Builder.add2 b Op.Mul x y in
+  let dead2 = G.Builder.add1 b Op.Not dead in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  let g = G.Builder.finish b in
+  let live = E.solve g in
+  Alcotest.(check bool) "used input live" true live.(x);
+  Alcotest.(check bool) "sum live" true live.(s);
+  Alcotest.(check bool) "dead cone dead" false (live.(dead) || live.(dead2))
+
+let test_dataflow_nonmonotone_raises () =
+  (* a transfer with no fixpoint must hit the visit cap, not hang *)
+  let module Diverge = Apex_analysis.Dataflow.Make (struct
+    type fact = int
+
+    let name = "diverge"
+    let direction = Apex_analysis.Dataflow.Backward
+    let equal = Int.equal
+    let init _ _ = 0
+
+    (* strictly increasing on every recomputation *)
+    let transfer _ ~succs (nd : G.node) get =
+      List.fold_left (fun acc s -> acc + get s) 1 succs.(nd.G.id)
+  end) in
+  (* a DAG always converges (dependents follow topo order), so the cap
+     is only reachable through a corrupt, structurally cyclic graph —
+     exactly the input the cap is there to survive *)
+  let g =
+    G.of_nodes_unchecked
+      [| { G.id = 0; op = Op.Not; args = [| 1 |] };
+         { G.id = 1; op = Op.Not; args = [| 0 |] } |]
+  in
+  match Diverge.solve g with
+  | _ -> Alcotest.fail "diverging transfer must trip the cap"
+  | exception Invalid_argument m ->
+      Alcotest.(check bool)
+        (Printf.sprintf "message names the problem (got %S)" m)
+        true
+        (String.length m >= 17 && String.sub m 0 17 = "Dataflow.diverge:")
+
+let test_dataflow_counter () =
+  Apex_telemetry.Registry.reset ();
+  Apex_telemetry.Registry.enable ();
+  Fun.protect ~finally:Apex_telemetry.Registry.disable @@ fun () ->
+  ignore (Absint.analyze (Apps.by_name "camera").Apps.graph);
+  Alcotest.(check bool) "analysis.dataflow.visits" true
+    (Apex_telemetry.Counter.get "analysis.dataflow.visits" > 0)
+
+(* --- backward demanded bits --- *)
+
+module Demand = Apex_analysis.Demand
+module Width = Apex_analysis.Width
+
+let test_demand_masks () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let k8 = G.Builder.add0 b (Op.Const 8) in
+  let sh = G.Builder.add2 b Op.Shl x k8 in
+  ignore (G.Builder.add1 b (Op.Output "o") sh);
+  let g = G.Builder.finish b in
+  let d = Demand.analyze g in
+  check Alcotest.int "output demands everything" 0xffff d.(sh);
+  (* x << 8: only x's low byte can reach the kept result bits *)
+  check Alcotest.int "shl translates demand" 0x00ff d.(x);
+  (* lshr pushes demand the other way *)
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let k8 = G.Builder.add0 b (Op.Const 8) in
+  let sh = G.Builder.add2 b Op.Lshr x k8 in
+  ignore (G.Builder.add1 b (Op.Output "o") sh);
+  let g = G.Builder.finish b in
+  let d = Demand.analyze g in
+  check Alcotest.int "lshr translates demand" 0xff00 d.(x)
+
+let test_demand_and_const_sibling () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let m = G.Builder.add0 b (Op.Const 0x0f0) in
+  let a = G.Builder.add2 b Op.And x m in
+  ignore (G.Builder.add1 b (Op.Output "o") a);
+  let g = G.Builder.finish b in
+  let d = Demand.analyze g in
+  check Alcotest.int "and with const mask narrows demand" 0x00f0 d.(x)
+
+let test_demand_mux_lut_cmp_reg () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let s0 = G.Builder.add0 b (Op.Bit_input "s0") in
+  let s1 = G.Builder.add0 b (Op.Bit_input "s1") in
+  let s2 = G.Builder.add0 b (Op.Bit_input "s2") in
+  let l = G.Builder.add3 b (Op.Lut 0xd8) s0 s1 s2 in
+  let c = G.Builder.add2 b Op.Ult x y in
+  let m = G.Builder.add3 b Op.Mux c x y in
+  let r = G.Builder.add1 b Op.Reg m in
+  ignore (G.Builder.add1 b (Op.Output "o") r);
+  ignore (G.Builder.add1 b (Op.Bit_output "p") l);
+  let g = G.Builder.finish b in
+  let d = Demand.analyze g in
+  check Alcotest.int "lut demands one bit of each select" 1 d.(s0);
+  check Alcotest.int "lut demand s1" 1 d.(s1);
+  check Alcotest.int "lut demand s2" 1 d.(s2);
+  check Alcotest.int "mux select demands one bit" 1 d.(c);
+  (* the comparator needs full compare width of both operands; the reg
+     widens the mux demand across the cycle boundary *)
+  check Alcotest.int "cmp operand full width" 0xffff d.(x);
+  check Alcotest.int "reg widens across backedge" 0xffff d.(m)
+
+let test_demand_dead_node () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let s = G.Builder.add2 b Op.Add x y in
+  let dead = G.Builder.add2 b Op.Mul x y in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  let g = G.Builder.finish b in
+  let d = Demand.analyze g in
+  check Alcotest.int "dead node demanded nowhere" 0 d.(dead);
+  Alcotest.(check bool) "is_live" true (Demand.is_live d s);
+  Alcotest.(check bool) "not is_live" false (Demand.is_live d dead)
+
+(* Soundness: flipping argument bits outside the demanded mask never
+   changes any graph output, on random vectors over small kernels. *)
+let test_demand_soundness () =
+  let st = rng () in
+  List.iter
+    (fun name ->
+      let g = (Apps.by_name name).Apps.graph in
+      let d = Demand.analyze g in
+      let nodes = G.nodes g in
+      for _ = 1 to 20 do
+        let env = Interp.random_env st g in
+        let base = Interp.run g env in
+        (* flip undemanded bits of every input *)
+        let env' =
+          List.map
+            (fun (n, v) ->
+              let id =
+                Array.fold_left
+                  (fun acc (nd : G.node) ->
+                    match nd.G.op with
+                    | Op.Input n' when n' = n -> nd.G.id
+                    | Op.Bit_input n' when n' = n -> nd.G.id
+                    | _ -> acc)
+                  (-1) nodes
+              in
+              let natural =
+                match Op.result_width nodes.(id).G.op with
+                | Op.Word -> 0xffff
+                | Op.Bit -> 1
+              in
+              let flip = Random.State.int st 0x10000 land lnot d.(id) in
+              (n, (v lxor flip) land natural))
+            env
+        in
+        Alcotest.(check bool)
+          (name ^ ": undemanded input bits are unobservable")
+          true
+          (Interp.run g env' = base)
+      done)
+    [ "fast"; "camera" ]
+
+(* --- width inference --- *)
+
+let test_width_narrows_masked_add () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let m = G.Builder.add0 b (Op.Const 0xff) in
+  let xl = G.Builder.add2 b Op.And x m in
+  let yl = G.Builder.add2 b Op.And y m in
+  let s = G.Builder.add2 b Op.Add xl yl in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  let g = G.Builder.finish b in
+  let w = Width.infer g in
+  Alcotest.(check bool) "validated" true w.Width.validated;
+  check Alcotest.int "masked args are 8 bits wide" 8 w.Width.widths.(xl);
+  check Alcotest.int "their sum is 9 bits wide" 9 w.Width.widths.(s);
+  Alcotest.(check bool) "narrowings proved" true (w.Width.proved > 0);
+  check Alcotest.int "nothing tested-only" 0 w.Width.tested_only;
+  (* the annotation landed on the graph *)
+  match G.widths g with
+  | Some a -> check Alcotest.int "annotated" 9 a.(s)
+  | None -> Alcotest.fail "infer must annotate the graph"
+
+let test_width_deterministic () =
+  let g = (Apps.by_name "fast").Apps.graph in
+  let w1 = Width.infer g in
+  let w2 = Width.infer (Apps.by_name "fast").Apps.graph in
+  check Alcotest.(list int) "same widths on every run"
+    (Array.to_list w1.Width.widths)
+    (Array.to_list w2.Width.widths)
+
+let test_width_apps_narrow () =
+  (* the paper-level claim: a strict per-node width reduction on most
+     built-in kernels, every narrowing proved or tested *)
+  let narrowed = ref 0 in
+  List.iter
+    (fun (a : Apps.t) ->
+      let w = Width.infer a.Apps.graph in
+      Alcotest.(check bool) (a.Apps.name ^ " validated") true
+        w.Width.validated;
+      Array.iteri
+        (fun i wi ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s node %d width in range" a.Apps.name i)
+            true
+            (wi >= 1 && wi <= w.Width.naturals.(i)))
+        w.Width.widths;
+      if Width.narrowed_nodes w > 0 then incr narrowed)
+    (Apps.evaluated () @ Apps.unseen ());
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 4 of 9 apps narrow (got %d)" !narrowed)
+    true (!narrowed >= 4)
+
+let test_width_smt_exhaust_ladder () =
+  (* rung 2: with SMT gone, the same narrowings survive on differential
+     evidence — identical widths, degraded outcome, tested-only > 0 *)
+  let g () = (Apps.by_name "fast").Apps.graph in
+  let proved = Width.infer (g ()) in
+  Apex_guard.Fault.arm "width-smt-exhaust";
+  Fun.protect ~finally:Apex_guard.Fault.disarm @@ fun () ->
+  let degraded = Width.infer (g ()) in
+  Alcotest.(check bool) "still validated" true degraded.Width.validated;
+  Alcotest.(check bool) "tested-only narrowings" true
+    (degraded.Width.tested_only > 0);
+  check Alcotest.int "nothing proved under the fault" 0
+    degraded.Width.proved;
+  check Alcotest.(list int) "identical widths with and without SMT"
+    (Array.to_list proved.Width.widths)
+    (Array.to_list degraded.Width.widths);
+  Alcotest.(check bool) "degraded outcome" true
+    (match degraded.Width.outcome with
+    | Apex_guard.Outcome.Degraded (Apex_guard.Outcome.Fault f) ->
+        f = "width-smt-exhaust"
+    | _ -> false)
+
+let test_width_differential_catches_bogus () =
+  (* rung 3's detector: the differential check must refuse a width
+     assignment that truncates live bits *)
+  let g = (Apps.by_name "fast").Apps.graph in
+  let w = Width.infer g in
+  Alcotest.(check bool) "honest live masks pass" true
+    (Width.differential_check g w.Width.live);
+  let bogus = Array.copy w.Width.live in
+  (* claim some wide live word node only keeps its low bit *)
+  let victim = ref (-1) in
+  Array.iteri
+    (fun i (nd : G.node) ->
+      if
+        !victim < 0 && Op.is_compute nd.G.op
+        && Op.result_width nd.G.op = Op.Word
+        && Width.width_of_mask bogus.(i) > 4
+      then victim := i)
+    (G.nodes g);
+  Alcotest.(check bool) "found a victim" true (!victim >= 0);
+  bogus.(!victim) <- 1;
+  Alcotest.(check bool) "bogus live masks refuted" false
+    (Width.differential_check g bogus)
+
+let test_width_counters () =
+  Apex_telemetry.Registry.reset ();
+  Apex_telemetry.Registry.enable ();
+  Fun.protect ~finally:Apex_telemetry.Registry.disable @@ fun () ->
+  ignore (Width.infer (Apps.by_name "fast").Apps.graph);
+  Alcotest.(check bool) "checks_run" true
+    (Apex_telemetry.Counter.get "analysis.width.checks_run" > 0);
+  Alcotest.(check bool) "cones_proved" true
+    (Apex_telemetry.Counter.get "analysis.width.cones_proved" > 0);
+  Alcotest.(check bool) "narrowed_nodes" true
+    (Apex_telemetry.Counter.get "analysis.width.narrowed_nodes" > 0);
+  Alcotest.(check bool) "bits_saved" true
+    (Apex_telemetry.Counter.get "analysis.width.bits_saved" > 0)
+
 (* --- the optimizer contract on every built-in application --- *)
 
 let all_apps () = Apps.evaluated () @ Apps.unseen ()
@@ -287,13 +669,43 @@ let () =
           Alcotest.test_case "join" `Quick test_itv_join;
           Alcotest.test_case "transfer soundness" `Quick
             test_itv_transfer_soundness;
-          Alcotest.test_case "decided predicates" `Quick test_itv_decided ] );
+          Alcotest.test_case "decided predicates" `Quick test_itv_decided;
+          Alcotest.test_case "variable shifts exhaustive" `Quick
+            test_itv_var_shift_exhaustive ] );
       ( "kbits",
         [ Alcotest.test_case "basics" `Quick test_kbits_basics;
           Alcotest.test_case "transfer soundness" `Quick
             test_kbits_transfer_soundness;
           Alcotest.test_case "exact const add" `Quick
-            test_kbits_add_exact_on_consts ] );
+            test_kbits_add_exact_on_consts;
+          Alcotest.test_case "variable shifts exhaustive" `Quick
+            test_kbits_var_shift_exhaustive ] );
+      ( "sem",
+        [ Alcotest.test_case "lut exhaustive" `Quick test_lut_exhaustive ] );
+      ( "dataflow",
+        [ Alcotest.test_case "backward liveness" `Quick
+            test_dataflow_backward_liveness;
+          Alcotest.test_case "visit cap" `Quick
+            test_dataflow_nonmonotone_raises;
+          Alcotest.test_case "visit counter" `Quick test_dataflow_counter ] );
+      ( "demand",
+        [ Alcotest.test_case "shift masks" `Quick test_demand_masks;
+          Alcotest.test_case "const sibling" `Quick
+            test_demand_and_const_sibling;
+          Alcotest.test_case "mux/lut/cmp/reg" `Quick
+            test_demand_mux_lut_cmp_reg;
+          Alcotest.test_case "dead node" `Quick test_demand_dead_node;
+          Alcotest.test_case "soundness" `Quick test_demand_soundness ] );
+      ( "width",
+        [ Alcotest.test_case "narrows masked add" `Quick
+            test_width_narrows_masked_add;
+          Alcotest.test_case "deterministic" `Quick test_width_deterministic;
+          Alcotest.test_case "apps narrow" `Quick test_width_apps_narrow;
+          Alcotest.test_case "smt-exhaust ladder" `Quick
+            test_width_smt_exhaust_ladder;
+          Alcotest.test_case "differential catches bogus" `Quick
+            test_width_differential_catches_bogus;
+          Alcotest.test_case "telemetry" `Quick test_width_counters ] );
       ( "absint",
         [ Alcotest.test_case "reduce" `Quick test_absint_reduce;
           Alcotest.test_case "transfer folds" `Quick test_absint_transfer_folds;

@@ -144,9 +144,9 @@ let sub_dp () =
   in
   let i0 = sub_node.G.args.(0) and i1 = sub_node.G.args.(1) in
   let nodes =
-    [| { Dp.id = 0; kind = Dp.In_port; ops = [] };
-       { Dp.id = 1; kind = Dp.In_port; ops = [] };
-       { Dp.id = 2; kind = Dp.Fu (Op.kind Op.Sub); ops = [ Op.Sub ] } |]
+    [| { Dp.id = 0; kind = Dp.In_port; ops = []; width = 16 };
+       { Dp.id = 1; kind = Dp.In_port; ops = []; width = 16 };
+       { Dp.id = 2; kind = Dp.Fu (Op.kind Op.Sub); ops = [ Op.Sub ]; width = 16 } |]
   in
   let edges =
     [ { Dp.src = 0; dst = 2; port = 0 };
@@ -179,8 +179,8 @@ let test_dp_static_cycle () =
   let alu = Op.kind Op.Add in
   let dp =
     { Dp.nodes =
-        [| { Dp.id = 0; kind = Dp.Fu alu; ops = [ Op.Add ] };
-           { Dp.id = 1; kind = Dp.Fu alu; ops = [ Op.Add ] } |];
+        [| { Dp.id = 0; kind = Dp.Fu alu; ops = [ Op.Add ]; width = 16 };
+           { Dp.id = 1; kind = Dp.Fu alu; ops = [ Op.Add ]; width = 16 } |];
       edges =
         [ { Dp.src = 0; dst = 1; port = 0 }; { Dp.src = 1; dst = 0; port = 0 } ];
       configs = [] }
@@ -214,13 +214,13 @@ let test_dp_functional_mismatch () =
 
 let test_dp_dead_fu () =
   let p, _, dp = sub_dp () in
-  let dead = { Dp.id = 3; kind = Dp.Fu (Op.kind Op.Mul); ops = [ Op.Mul ] } in
+  let dead = { Dp.id = 3; kind = Dp.Fu (Op.kind Op.Mul); ops = [ Op.Mul ]; width = 16 } in
   let dp = { dp with Dp.nodes = Array.append dp.Dp.nodes [| dead |] } in
   assert_emits "dead FU" "APX027" (run_dp ~patterns:[ p ] dp)
 
 let test_dp_constant_range () =
   let p, cfg, dp = sub_dp () in
-  let creg = { Dp.id = 3; kind = Dp.Creg; ops = [] } in
+  let creg = { Dp.id = 3; kind = Dp.Creg; ops = []; width = 16 } in
   let cfg = { cfg with Dp.consts = [ (3, 0x1_0000) ] } in
   let dp =
     { dp with
@@ -422,9 +422,9 @@ let test_engine_dispatch () =
         Engine.Dfg { label = "bad"; graph = bad_dfg () } ]
   in
   check Alcotest.int "two artifacts" 2 report.Engine.artifacts;
-  (* each Dfg artifact is visited by the structural and the analysis
-     checker *)
-  check Alcotest.int "four checks" 4 report.Engine.checks;
+  (* each Dfg artifact is visited by the structural, analysis and width
+     checkers *)
+  check Alcotest.int "six checks" 6 report.Engine.checks;
   Alcotest.(check bool) "findings present" true (report.Engine.findings <> []);
   Alcotest.(check bool) "findings on bad only" true
     (List.for_all
@@ -489,7 +489,7 @@ let test_catalog_complete () =
       "APX008"; "APX020"; "APX022"; "APX023"; "APX024"; "APX025"; "APX026";
       "APX027"; "APX028"; "APX040"; "APX041"; "APX042"; "APX043"; "APX060";
       "APX061"; "APX063"; "APX064"; "APX065"; "APX100"; "APX101"; "APX102";
-      "APX103" ]
+      "APX103"; "APX110"; "APX111"; "APX112" ]
 
 let test_all_apps_clean () =
   (* raw kernels: structurally clean; the semantic analysis checkers may
@@ -516,6 +516,120 @@ let test_all_apps_clean_optimized () =
   check Alcotest.int "no errors on optimized apps" 0 (Engine.errors report);
   check Alcotest.int "no warnings on optimized apps" 0 (Engine.warnings report);
   check Alcotest.int "werror-clean" 0 (Engine.exit_code ~werror:true report)
+
+(* --- width checker (APX11x) and code filters --- *)
+
+(* x&0xff + y&0xff: the sum has 9 live bits, the masked inputs 8 *)
+let narrowable_graph () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let m = G.Builder.add0 b (Op.Const 0xff) in
+  let xl = G.Builder.add2 b Op.And x m in
+  let yl = G.Builder.add2 b Op.And y m in
+  let s = G.Builder.add2 b Op.Add xl yl in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  G.Builder.finish b
+
+let test_width_opportunity_note () =
+  (* unannotated narrowable graph: one aggregate APX110 note, nothing
+     more severe *)
+  let diags = Apex_lint.Checks_width.run (narrowable_graph ()) in
+  assert_emits "narrowable unannotated graph" "APX110" diags;
+  Alcotest.(check bool) "notes only" true
+    (List.for_all (fun (d : Diag.t) -> d.Diag.severity = Diag.Note) diags)
+
+let test_width_clean_after_inference () =
+  (* a graph annotated by the inference itself carries no width errors *)
+  let g = narrowable_graph () in
+  ignore (Apex_analysis.Width.infer g);
+  let diags = Apex_lint.Checks_width.run g in
+  Alcotest.(check bool)
+    (Printf.sprintf "no errors after inference (got: %s)"
+       (String.concat "," (codes diags)))
+    true
+    (List.for_all (fun (d : Diag.t) -> d.Diag.severity <> Diag.Error) diags)
+
+let test_width_truncation () =
+  let g = narrowable_graph () in
+  let w = Array.make (G.length g) 16 in
+  (* the Add (node 5) provably needs 9 live bits; claiming 4 is unsound *)
+  w.(5) <- 4;
+  G.annotate_widths g w;
+  assert_emits "truncating annotation" "APX111" (Apex_lint.Checks_width.run g)
+
+let test_width_out_of_range () =
+  let g = narrowable_graph () in
+  let w = Array.make (G.length g) 16 in
+  w.(0) <- 0;
+  G.annotate_widths g w;
+  assert_emits "width 0" "APX111" (Apex_lint.Checks_width.run g)
+
+let test_width_mux_inconsistent () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let s = G.Builder.add0 b (Op.Bit_input "s") in
+  let m = G.Builder.add3 b Op.Mux s x y in
+  ignore (G.Builder.add1 b (Op.Output "o") m);
+  let g = G.Builder.finish b in
+  let w = Array.make (G.length g) 16 in
+  w.(s) <- 1;
+  (* full-width arms through a 4-bit mux *)
+  w.(m) <- 4;
+  G.annotate_widths g w;
+  assert_emits "narrow mux, wide arms" "APX112"
+    (Apex_lint.Checks_width.run g)
+
+let finding code severity =
+  { Engine.artifact = "a"; checker = "c";
+    diag = Diag.make severity ~code "seeded" }
+
+let test_filter_report () =
+  let r =
+    { Engine.findings =
+        [ finding "APX001" Diag.Error; finding "APX110" Diag.Note;
+          finding "APX111" Diag.Error; finding "APX101" Diag.Warning ];
+      artifacts = 1; checks = 1 }
+  in
+  let codes_of r =
+    List.map (fun (f : Engine.finding) -> f.Engine.diag.Diag.code)
+      r.Engine.findings
+  in
+  check
+    Alcotest.(list string)
+    "--only exact" [ "APX001" ]
+    (codes_of (Engine.filter_report ~only:[ "APX001" ] r));
+  check
+    Alcotest.(list string)
+    "--only family wildcard" [ "APX110"; "APX111" ]
+    (codes_of (Engine.filter_report ~only:[ "APX11x" ] r));
+  check
+    Alcotest.(list string)
+    "--except drops" [ "APX001"; "APX101" ]
+    (codes_of (Engine.filter_report ~except:[ "APX11x" ] r));
+  check
+    Alcotest.(list string)
+    "--only then --except" [ "APX111" ]
+    (codes_of
+       (Engine.filter_report ~only:[ "APX11x" ] ~except:[ "APX110" ] r));
+  (* counts and exit codes follow the filtered findings *)
+  let f = Engine.filter_report ~only:[ "APX110" ] r in
+  check Alcotest.int "filtered errors" 0 (Engine.errors f);
+  check Alcotest.int "filtered exit" 0 (Engine.exit_code ~werror:true f);
+  check Alcotest.int "counts preserved" 1 f.Engine.artifacts
+
+let test_validate_code () =
+  Alcotest.(check bool) "exact code ok" true
+    (Result.is_ok (Engine.validate_code "APX110"));
+  Alcotest.(check bool) "family ok" true
+    (Result.is_ok (Engine.validate_code "APX11x"));
+  Alcotest.(check bool) "unknown rejected" true
+    (Result.is_error (Engine.validate_code "APX999"));
+  Alcotest.(check bool) "unknown family rejected" true
+    (Result.is_error (Engine.validate_code "APX9x"));
+  Alcotest.(check bool) "garbage rejected" true
+    (Result.is_error (Engine.validate_code "bogus"))
 
 let () =
   Alcotest.run "lint"
@@ -569,6 +683,18 @@ let () =
             test_analysis_saturating_shift;
           Alcotest.test_case "duplicate node" `Quick
             test_analysis_duplicate_node ] );
+      ( "width",
+        [ Alcotest.test_case "opportunity note" `Quick
+            test_width_opportunity_note;
+          Alcotest.test_case "clean after inference" `Quick
+            test_width_clean_after_inference;
+          Alcotest.test_case "truncation" `Quick test_width_truncation;
+          Alcotest.test_case "out of range" `Quick test_width_out_of_range;
+          Alcotest.test_case "mux inconsistent" `Quick
+            test_width_mux_inconsistent ] );
+      ( "filters",
+        [ Alcotest.test_case "filter report" `Quick test_filter_report;
+          Alcotest.test_case "validate code" `Quick test_validate_code ] );
       ( "engine",
         [ Alcotest.test_case "dispatch" `Quick test_engine_dispatch;
           Alcotest.test_case "werror" `Quick test_engine_werror;

@@ -91,6 +91,62 @@ let test_of_pattern_evaluates () =
       (config_matches_pattern dp (List.hd dp.configs) p st)
   done
 
+(* --- proven widths on datapath nodes --- *)
+
+(* x&0xff + y&0xff: the adder FU is provably 9 bits wide *)
+let narrow_pattern () =
+  let b = G.Builder.create () in
+  let x = G.Builder.add0 b (Op.Input "x") in
+  let y = G.Builder.add0 b (Op.Input "y") in
+  let m = G.Builder.add0 b (Op.Const 0xff) in
+  let xl = G.Builder.add2 b Op.And x m in
+  let yl = G.Builder.add2 b Op.And y m in
+  let s = G.Builder.add2 b Op.Add xl yl in
+  ignore (G.Builder.add1 b (Op.Output "o") s);
+  Pattern.of_graph (G.Builder.finish b)
+
+let fu_widths (dp : D.t) kind =
+  Array.to_list dp.nodes
+  |> List.filter_map (fun (n : D.node) ->
+         match n.kind with
+         | D.Fu k when String.equal k kind -> Some n.width
+         | _ -> None)
+
+let test_of_pattern_widths () =
+  let dp = D.of_pattern (narrow_pattern ()) in
+  (match D.validate dp with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid: %s" m);
+  Alcotest.(check (list int)) "the And FUs carry 8 proven bits" [ 8; 8 ]
+    (fu_widths dp "logic");
+  Alcotest.(check (list int)) "the Add FU carries 9 proven bits" [ 9 ]
+    (fu_widths dp "alu");
+  (* full-width patterns keep natural widths *)
+  let full = D.of_pattern (subgraph1 ()) in
+  Alcotest.(check (list int)) "unmasked adds stay 16-bit" [ 16; 16 ]
+    (fu_widths full "alu")
+
+let test_merge_joins_widths () =
+  (* merging a narrow pattern into a full-width datapath must keep the
+     shared FU wide enough for both: widths join by max *)
+  let wide = D.of_pattern (subgraph1 ()) in
+  let merged, _ = Merge.merge wide (narrow_pattern ()) in
+  (match D.validate merged with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid after merge: %s" m);
+  List.iter
+    (fun w -> check int "shared alu stays full width" 16 w)
+    (fu_widths merged "alu");
+  (* and the narrow direction: two narrow patterns merge narrow *)
+  let narrow = D.of_pattern (narrow_pattern ()) in
+  let merged2, _ = Merge.merge narrow (narrow_pattern ()) in
+  Alcotest.(check bool) "narrow merge keeps the 9-bit adder" true
+    (List.for_all (fun w -> w = 9) (fu_widths merged2 "alu"));
+  (* width-aware area: the narrow datapath is cheaper than the same
+     structure at full width *)
+  Alcotest.(check bool) "narrow datapath is smaller" true
+    (D.area narrow < D.area (D.of_pattern (subgraph1 ())))
+
 (* --- Fig. 5 merge --- *)
 
 let test_fig5_merge () =
@@ -276,7 +332,8 @@ let () =
   Alcotest.run "merging"
     [ ( "datapath",
         [ Alcotest.test_case "of_pattern structure" `Quick test_of_pattern_structure;
-          Alcotest.test_case "of_pattern evaluates" `Quick test_of_pattern_evaluates ] );
+          Alcotest.test_case "of_pattern evaluates" `Quick test_of_pattern_evaluates;
+          Alcotest.test_case "of_pattern proves widths" `Quick test_of_pattern_widths ] );
       ( "merge",
         [ Alcotest.test_case "Fig. 5: shares adds and consts" `Quick test_fig5_merge;
           Alcotest.test_case "Fig. 5: both configs work" `Quick test_fig5_configs_still_work;
@@ -284,7 +341,8 @@ let () =
           Alcotest.test_case "no-sharing strategy correct" `Quick test_no_sharing_still_correct;
           Alcotest.test_case "commutative operands merge" `Quick test_commutative_merge;
           Alcotest.test_case "merge_all chain" `Quick test_merge_all_chain;
-          Alcotest.test_case "datapath dot" `Quick test_datapath_dot ] );
+          Alcotest.test_case "datapath dot" `Quick test_datapath_dot;
+          Alcotest.test_case "merge joins widths" `Quick test_merge_joins_widths ] );
       ( "clique",
         [ Alcotest.test_case "exact beats heavy vertex" `Quick test_clique_simple;
           Alcotest.test_case "greedy suboptimal case" `Quick test_clique_greedy_can_be_suboptimal;

@@ -118,6 +118,48 @@ let test_energy_scales_with_outputs () =
   Alcotest.(check bool) "roughly halves" true
     (half.energy_uj < 0.55 *. full.energy_uj)
 
+(* --- width scaling --- *)
+
+let test_width_factor_exact_at_full () =
+  (* 1.0 at the native 16 bits for every kind: the calibrated absolute
+     areas (baseline PE ~988.8 um^2) must be untouched by the width
+     model unless a narrowing was proven *)
+  List.iter
+    (fun kind ->
+      check (Alcotest.float 0.0)
+        (kind ^ " exact at 16")
+        1.0
+        (Tech.width_factor ~kind ~width:Tech.word_width))
+    [ "alu"; "mul"; "shift"; "logic"; "cmp"; "mux"; "lut"; "creg" ]
+
+let test_width_factor_scaling () =
+  (* linear for ripple structures, quadratic for the multiplier array,
+     flat for the already-bit-level lut *)
+  check (Alcotest.float 1e-9) "alu halves" 0.5
+    (Tech.width_factor ~kind:"alu" ~width:8);
+  check (Alcotest.float 1e-9) "mul quarters" 0.25
+    (Tech.width_factor ~kind:"mul" ~width:8);
+  check (Alcotest.float 1e-9) "lut flat" 1.0
+    (Tech.width_factor ~kind:"lut" ~width:8);
+  (* a comparator's area is set by its word inputs, not its 1-bit
+     result: flat, so the calibrated baseline (natural width 1) is
+     unchanged *)
+  check (Alcotest.float 1e-9) "cmp flat" 1.0
+    (Tech.width_factor ~kind:"cmp" ~width:1);
+  (* clamped into 1..16 *)
+  check (Alcotest.float 1e-9) "clamp low" (1.0 /. 16.0)
+    (Tech.width_factor ~kind:"alu" ~width:0);
+  check (Alcotest.float 1e-9) "clamp high" 1.0
+    (Tech.width_factor ~kind:"alu" ~width:99);
+  (* monotone in width *)
+  for w = 1 to 15 do
+    Alcotest.(check bool)
+      (Printf.sprintf "monotone at %d" w)
+      true
+      (Tech.width_factor ~kind:"alu" ~width:w
+      < Tech.width_factor ~kind:"alu" ~width:(w + 1))
+  done
+
 let () =
   Alcotest.run "models"
     [ ( "tech",
@@ -126,7 +168,11 @@ let () =
           Alcotest.test_case "mux monotone" `Quick test_mux_cost_monotone;
           Alcotest.test_case "slices cheaper" `Quick test_slice_cheaper_than_block;
           Alcotest.test_case "kind costs" `Quick test_kind_cost_known_kinds;
-          Alcotest.test_case "config overhead" `Quick test_config_overhead_linear ] );
+          Alcotest.test_case "config overhead" `Quick test_config_overhead_linear;
+          Alcotest.test_case "width factor exact at 16" `Quick
+            test_width_factor_exact_at_full;
+          Alcotest.test_case "width factor scaling" `Quick
+            test_width_factor_scaling ] );
       ( "interconnect",
         [ Alcotest.test_case "sb scales with tracks" `Quick test_sb_cost_scales_with_tracks;
           Alcotest.test_case "sb vs pe sanity" `Quick test_sb_reasonable_vs_pe;

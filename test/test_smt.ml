@@ -213,8 +213,8 @@ module D = Apex_merging.Datapath
 module Merge = Apex_merging.Merge
 module Library = Apex_peak.Library
 module Spec = Apex_peak.Spec
-module Verify = Apex_smt.Verify
-module Synth = Apex_smt.Synth
+module Verify = Apex_verif.Verify
+module Synth = Apex_verif.Synth
 
 let random_args st op bits =
   Array.map
