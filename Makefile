@@ -9,6 +9,14 @@ CI_DSE_BASE := /tmp/apex-ci-dse-base.json
 CI_DSE_FAULT := /tmp/apex-ci-dse-fault.json
 CI_FAULT_CACHE := /tmp/apex-ci-fault-cache
 CI_SNAP := /tmp/apex-ci-snap
+CI_SERVE_SOCK := /tmp/apex-ci-serve.sock
+CI_SERVE_CACHE := /tmp/apex-ci-serve-cache
+CI_SERVE_TRACE := /tmp/apex-ci-serve-trace.json
+CI_SERVE_OUT := /tmp/apex-ci-serve-out.json
+
+# The daemon must receive SIGTERM itself (dune exec does not forward
+# signals to its child), so serve smoke steps run the built binary.
+APEX_BIN := ./_build/default/bin/apex_cli.exe
 
 .PHONY: all build test bench bench-snapshot ci clean
 
@@ -29,6 +37,7 @@ bench:
 # when a change intentionally moves the search-space counters.
 bench-snapshot:
 	dune exec bench/main.exe -- --snapshot
+	dune exec bench/main.exe -- --serve-sweep
 
 # Build, run the full test suite, then the static-analysis gates: the
 # abstract interpreter must produce facts and a validated node-count
@@ -74,7 +83,39 @@ ci: build test
 	dune exec bin/apex_cli.exe -- trace-check $(CI_WARM) --require exec.cache_hits
 	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_COLD) $(CI_WARM)
 	$(MAKE) ci-faults
+	$(MAKE) ci-serve
 	$(MAKE) ci-bench
+
+# Serve smoke: start the daemon against a scratch store, submit a mixed
+# batch from two tenants, and assert the cache-namespace contract on
+# the per-request reports: bob's first request misses (alice's warm
+# artifacts are invisible across tenants), alice's rerun hits without a
+# single miss (intra-tenant sharing).  Then a clean SIGTERM shutdown,
+# whose daemon-side trace must show admitted requests.
+.PHONY: ci-serve
+ci-serve:
+	rm -rf $(CI_SERVE_CACHE) && rm -f $(CI_SERVE_SOCK) $(CI_SERVE_TRACE)
+	set -e; \
+	APEX_CACHE_DIR=$(CI_SERVE_CACHE) $(APEX_BIN) serve \
+	  --socket $(CI_SERVE_SOCK) --jobs 4 --trace=$(CI_SERVE_TRACE) & \
+	pid=$$!; \
+	trap 'kill $$pid 2> /dev/null || true' EXIT; \
+	$(APEX_BIN) submit --socket $(CI_SERVE_SOCK) --tenant alice \
+	  '{"kind":"dse","apps":["camera"]}' \
+	  '{"kind":"lint","apps":["camera"]}' \
+	  '{"kind":"analyze","apps":["camera"]}'; \
+	$(APEX_BIN) submit --socket $(CI_SERVE_SOCK) --tenant bob \
+	  --out $(CI_SERVE_OUT) '{"kind":"lint","apps":["camera"]}'; \
+	$(APEX_BIN) trace-check $(CI_SERVE_OUT) --require exec.cache_misses; \
+	$(APEX_BIN) submit --socket $(CI_SERVE_SOCK) --tenant alice \
+	  --out $(CI_SERVE_OUT) '{"kind":"lint","apps":["camera"]}'; \
+	$(APEX_BIN) trace-check $(CI_SERVE_OUT) \
+	  --require exec.cache_hits --forbid exec.cache_misses; \
+	kill -TERM $$pid; \
+	wait $$pid; \
+	trap - EXIT
+	$(APEX_BIN) trace-check $(CI_SERVE_TRACE) --require serve.requests_admitted
+	rm -rf $(CI_SERVE_CACHE) && rm -f $(CI_SERVE_SOCK)
 
 # Fault-injection smoke matrix: each registered fault class, injected
 # into a real `apex dse camera` run, must (a) exit 0 — the degradation
@@ -135,7 +176,8 @@ ci-faults:
 ci-bench:
 	rm -rf $(CI_SNAP) && mkdir -p $(CI_SNAP)
 	dune exec bench/main.exe -- --snapshot=$(CI_SNAP) > /dev/null
-	for a in mining merging smt dse; do \
+	dune exec bench/main.exe -- --serve-sweep=$(CI_SNAP) > /dev/null
+	for a in mining merging smt dse serve; do \
 	  dune exec bin/apex_cli.exe -- bench-diff BENCH_$$a.json $(CI_SNAP)/BENCH_$$a.json || exit 1; \
 	done
 	sed -E 's/"mining\.patterns_grown": ([0-9]+)/"mining.patterns_grown": 1\1/' \
@@ -147,4 +189,5 @@ clean:
 	dune clean
 	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
 	rm -f $(CI_DSE_BASE) $(CI_DSE_FAULT)
-	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE) $(CI_SNAP)
+	rm -f $(CI_SERVE_SOCK) $(CI_SERVE_TRACE) $(CI_SERVE_OUT)
+	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE) $(CI_SNAP) $(CI_SERVE_CACHE)

@@ -644,27 +644,7 @@ let profile_cmd =
 (* --- dse: the (variant x application) evaluation fleet --- *)
 
 let dse_cmd =
-  let row_json ((spec, (v : Apex.Variants.t), (a : Apps.t)), r) =
-    let fields =
-      [ ("app", Json.String a.Apps.name);
-        ("variant", Json.String v.name);
-        ("spec", Json.String spec);
-        ("status", Json.String (Apex.Dse.pair_status r)) ]
-    in
-    let fields =
-      match Apex.Dse.mapped_opt r with
-      | None -> fields
-      | Some (pp : Apex.Metrics.post_pipelining) ->
-          fields
-          @ [ ("n_pes", Json.Int pp.pnr.pm.n_pes);
-              ("cycles_per_run", Json.Int pp.cycles_per_run);
-              ("pe_stages", Json.Int pp.pe_stages);
-              ("period_ps", Json.Float pp.period_ps);
-              ("total_area", Json.Float pp.pnr.total_area);
-              ("perf_per_mm2", Json.Float pp.perf_per_mm2) ]
-    in
-    Json.Obj fields
-  in
+  let row_json = Apex.Jobs.dse_row_json in
   let run () trace check optimize apps all variants json =
     set_check check;
     set_optimize optimize;
@@ -681,18 +661,7 @@ let dse_cmd =
     (* variant construction is serial (shared memo tables); one
        construction failure is a configuration error and aborts, unlike
        per-pair evaluation failures below, which never do *)
-    let specs_for (a : Apps.t) =
-      match variants with
-      | [] -> [ "base"; "spec:" ^ a.Apps.name ]
-      | vs -> vs
-    in
-    let pairs =
-      List.concat_map
-        (fun (a : Apps.t) ->
-          List.map (fun spec -> (spec, Apex.Dse.variant_for spec, a))
-            (specs_for a))
-        apps
-    in
+    let pairs = Apex.Jobs.dse_pairs ~apps ~variants in
     let results =
       Apex.Dse.evaluate_pairs (List.map (fun (_, v, a) -> (v, a)) pairs)
     in
@@ -862,7 +831,7 @@ let lint_cmd =
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 
 let trace_check_cmd =
-  let run file requires =
+  let run file requires forbids =
     let fail fmt =
       Format.kasprintf
         (fun m ->
@@ -925,13 +894,21 @@ let trace_check_cmd =
           | Some n when n > 0 -> ()
           | Some _ -> fail "%s: counter %s is zero" label name
           | None -> fail "%s: counter %s is missing" label name)
-        requires
+        requires;
+      List.iter
+        (fun name ->
+          match Option.bind (List.assoc_opt name counters) Json.to_int_opt with
+          | Some n when n > 0 ->
+              fail "%s: counter %s is %d (forbidden non-zero)" label name n
+          | Some _ | None -> ())
+        forbids
     in
     List.iter check reports;
-    Format.printf "trace-check: %s: ok (%d report%s, %d required counters)@."
+    Format.printf
+      "trace-check: %s: ok (%d report%s, %d required, %d forbidden counters)@."
       file (List.length reports)
       (if List.length reports = 1 then "" else "s")
-      (List.length requires)
+      (List.length requires) (List.length forbids)
   in
   let file =
     Arg.(
@@ -946,10 +923,20 @@ let trace_check_cmd =
       & info [ "require" ] ~docv:"COUNTER"
           ~doc:"Fail unless $(docv) is present and non-zero (repeatable).")
   in
+  let forbids =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "forbid" ] ~docv:"COUNTER"
+          ~doc:
+            "Fail if $(docv) is present with a non-zero value (repeatable); \
+             absent or zero passes — e.g. a fully warm cached run must show \
+             no $(b,exec.cache_misses).")
+  in
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:"Validate a telemetry JSON report written by --trace or bench.")
-    Term.(const run $ file $ requires)
+    Term.(const run $ file $ requires $ forbids)
 
 (* --- cache: inspect and prune the on-disk artifact store --- *)
 
@@ -979,11 +966,22 @@ let cache_cmd =
       Term.(const run $ const ())
   in
   let gc_cmd =
-    let run budget_mb =
-      let budget_bytes = budget_mb * 1024 * 1024 in
-      let deleted, freed = Apex_exec.Store.gc ~budget_bytes () in
-      Format.printf "cache gc: %d entries deleted, %d bytes freed (budget %d MiB)@."
-        deleted freed budget_mb
+    let run budget_mb max_bytes ns =
+      let budget_bytes =
+        match max_bytes with
+        | Some b when b >= 0 -> b
+        | Some b -> invalid_arg (Printf.sprintf "--max-bytes %d: negative" b)
+        | None -> budget_mb * 1024 * 1024
+      in
+      let deleted, freed =
+        match ns with
+        | Some ns -> Apex_exec.Store.gc_ns ~ns ~budget_bytes ()
+        | None -> Apex_exec.Store.gc ~budget_bytes ()
+      in
+      Format.printf
+        "cache gc%s: %d entries deleted, %d bytes freed (budget %d bytes)@."
+        (match ns with Some ns -> " [" ^ ns ^ "]" | None -> "")
+        deleted freed budget_bytes
     in
     let budget =
       Arg.(
@@ -993,10 +991,26 @@ let cache_cmd =
               "Keep the newest entries up to $(docv) mebibytes; delete the \
                rest (default 0: delete everything).")
     in
+    let max_bytes =
+      Arg.(
+        value & opt (some int) None
+        & info [ "max-bytes" ] ~docv:"BYTES"
+            ~doc:
+              "Exact byte budget (overrides $(b,--budget-mb)): keep the \
+               newest entries up to $(docv) bytes, delete the rest.")
+    in
+    let ns =
+      Arg.(
+        value & opt (some string) None
+        & info [ "ns" ] ~docv:"NS"
+            ~doc:
+              "Confine eviction to one namespace (as listed by `apex cache \
+               stats`); other namespaces are untouched.")
+    in
     Cmd.v
       (Cmd.info "gc"
          ~doc:"Delete oldest cache entries until the store fits a size budget.")
-      Term.(const run $ budget)
+      Term.(const run $ budget $ max_bytes $ ns)
   in
   Cmd.group
     (Cmd.info "cache"
@@ -1185,12 +1199,185 @@ let bench_diff_cmd =
           beyond --tolerance, 0 when the trajectory holds.")
     Term.(const run $ old_file $ new_file $ tolerance)
 
+(* --- serve / submit: the multi-tenant job daemon and its client --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH"
+        ~doc:"Unix domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let run trace socket jobs max_queue deadline quota_mb =
+    with_trace trace @@ fun () ->
+    let config =
+      { Apex_serve.Server.socket_path = socket;
+        jobs;
+        max_queue;
+        default_deadline_s = deadline;
+        tenant_quota_bytes = Option.map (fun mb -> mb * 1024 * 1024) quota_mb }
+    in
+    let t = Apex_serve.Server.start config in
+    let stop _ = Apex_serve.Server.request_stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Format.printf "apex serve: listening on %s (%d jobs, queue depth %d)@."
+      socket jobs max_queue;
+    Format.print_flush ();
+    Apex_serve.Server.join t;
+    Format.printf "apex serve: shut down@."
+  in
+  let jobs =
+    Arg.(
+      value & opt int 4
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Scheduler batch width: how many admitted requests are in \
+             flight at once. Each request runs serially (the request is \
+             the unit of parallelism).")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 16
+      & info [ "max-queue" ] ~docv:"D"
+          ~doc:
+            "Admission cap: requests queued beyond $(docv) get a typed \
+             over-capacity reject instead of waiting.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:
+            "Per-request deadline cap in seconds (the effective deadline is \
+             the smaller of this and the request's own deadline_s). Queue \
+             wait counts against it.")
+  in
+  let quota_mb =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tenant-quota-mb" ] ~docv:"MIB"
+          ~doc:
+            "Per-tenant artifact-cache byte quota: after every request the \
+             tenant's namespaces are trimmed oldest-first to $(docv) \
+             mebibytes.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-tenant job daemon: DSE/analyze/lint/map/mine jobs \
+          as length-prefixed JSON over a Unix domain socket, with admission \
+          control, per-tenant cache namespaces and per-request isolation. \
+          SIGTERM/SIGINT shut down gracefully (queued requests are answered \
+          cancelled, in-flight ones degrade via their guard outcomes). With \
+          --trace=FILE the daemon writes its own serve.* telemetry report \
+          on shutdown.")
+    Term.(const run $ trace_arg $ socket_arg $ jobs $ max_queue $ deadline
+          $ quota_mb)
+
+let submit_cmd =
+  let run socket tenant deadline out json_flag job_strs =
+    let jobs =
+      List.map
+        (fun s ->
+          match Json.of_string s with
+          | Ok j -> Apex.Jobs.of_json j
+          | Error m ->
+              invalid_arg (Printf.sprintf "submit: job %S: invalid JSON: %s" s m))
+        job_strs
+    in
+    if jobs = [] then invalid_arg "submit: provide at least one job spec";
+    let c = Apex_serve.Client.connect socket in
+    Fun.protect ~finally:(fun () -> Apex_serve.Client.close c) @@ fun () ->
+    let exit_code = ref 0 in
+    List.iteri
+      (fun i job ->
+        let resp =
+          Apex_serve.Client.request c
+            { Apex_serve.Proto.tenant; job; deadline_s = deadline }
+        in
+        match resp with
+        | Apex_serve.Proto.Ok report ->
+            (match out with
+            | Some path ->
+                (* several jobs sharing --out: the last report wins *)
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () -> output_string oc (Json.to_string report))
+            | None -> ());
+            if json_flag then
+              print_endline
+                (Json.to_string
+                   (Option.value ~default:Json.Null
+                      (Json.member "results" report)))
+            else
+              Format.printf "submit[%d]: %s ok (tenant %s)@." i
+                (Apex.Jobs.kind job) tenant
+        | Apex_serve.Proto.Error e ->
+            if json_flag then
+              print_endline (Json.to_string (Apex_serve.Proto.error_to_json e))
+            else Format.eprintf "submit[%d]: %s: %s@." i e.kind e.message;
+            if !exit_code = 0 then exit_code := e.code)
+      jobs;
+    if !exit_code <> 0 then exit !exit_code
+  in
+  let tenant =
+    Arg.(
+      value & opt string "default"
+      & info [ "tenant"; "t" ] ~docv:"NAME"
+          ~doc:
+            "Tenant namespace ([A-Za-z0-9_-]): requests of one tenant share \
+             warm cache artifacts; tenants never see each other's.")
+  in
+  let deadline =
+    Arg.(
+      value & opt (some float) None
+      & info [ "deadline" ] ~docv:"SEC"
+          ~doc:"Request deadline in seconds, queue wait included.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE"
+          ~doc:
+            "Write the response's embedded telemetry report (results \
+             section included) to $(docv) — the same apex.telemetry/1 \
+             schema --trace=FILE writes, so `apex trace-check` and `apex \
+             report-diff` consume it directly.")
+  in
+  let json_flag =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the results section (or the error object) as JSON.")
+  in
+  let job_specs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"JOB"
+          ~doc:
+            "Job spec as JSON, e.g. '{\"kind\":\"dse\",\"apps\":[\"camera\"]}' \
+             (kinds: dse, analyze, lint, map, mine, sleep). Repeatable; jobs \
+             run sequentially on one connection.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit jobs to a running `apex serve` daemon and wait for the \
+          results. Exits with the server error's code on failure (the same \
+          five-way map the CLI uses).")
+    Term.(
+      const run $ socket_arg $ tenant $ deadline $ out $ json_flag $ job_specs)
+
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; mine_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd;
       verify_cmd; compile_cmd; profile_cmd; dse_cmd; lint_cmd;
-      trace_check_cmd; cache_cmd; report_diff_cmd; bench_diff_cmd ]
+      trace_check_cmd; cache_cmd; report_diff_cmd; bench_diff_cmd;
+      serve_cmd; submit_cmd ]
 
 let () =
   (* Error hygiene: every anticipated failure class gets a one-line

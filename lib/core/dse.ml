@@ -4,9 +4,29 @@ module Span = Apex_telemetry.Span
 
 let cache : (string, Variants.t) Hashtbl.t = Hashtbl.create 16
 
+(* A server runs each request under [with_local_memo]: the request gets
+   a fresh private variant memo instead of the process-global table, so
+   two concurrent requests never race the unsynchronized Hashtbl, and
+   artifacts cross requests only through the tenant-namespaced
+   Exec.Store — never through ambient process memory that would bypass
+   namespace isolation.  Domain-local: the caller must keep the whole
+   request on one domain (Pool.serially), which the serve worker does. *)
+let local_key : (string, Variants.t) Hashtbl.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let memo_table () =
+  match !(Domain.DLS.get local_key) with Some t -> t | None -> cache
+
+let with_local_memo f =
+  let r = Domain.DLS.get local_key in
+  let saved = !r in
+  r := Some (Hashtbl.create 16);
+  Fun.protect f ~finally:(fun () -> r := saved)
+
 let memo key f =
   (* optimized and raw flows must not alias a cached variant *)
   let key = key ^ Optimize.key_suffix () in
+  let cache = memo_table () in
   match Hashtbl.find_opt cache key with
   | Some v ->
       Counter.incr "dse.memo_hits";
@@ -30,10 +50,39 @@ let camera_variants () =
   let camera = Apps.by_name "camera" in
   baseline () :: List.init 4 (fun k -> pe_k camera k)
 
-(* area-energy score of a variant on one application, post-mapping *)
-let score v app =
-  let pm, _ = Metrics.post_mapping v app in
-  pm.Metrics.total_pe_area *. pm.Metrics.pe_energy_per_output
+(* Store key for any evaluation of [v] against [app].  Keyed on the
+   evaluation's *inputs*, never on structural fingerprints of derived
+   artifacts: pattern graphs carry a lazily-filled width cache, so
+   their marshalled form depends on what ran before in the process.
+   The canonical pattern codes plus the (immutable) datapath determine
+   the rule set too — bump the version tag here when the synthesis or
+   metrics pipeline changes what a pair evaluation produces. *)
+let variant_eval_key ~version (v : Variants.t) (app : Apps.t) effort =
+  let module D = Apex_merging.Datapath in
+  let dp = v.dp in
+  Apex_exec.Store.key ~version
+    [ Apex_exec.Store.fingerprint (dp.D.nodes, dp.D.edges, dp.D.configs);
+      Apex_exec.Store.fingerprint (List.map Apex_mining.Pattern.code v.patterns);
+      app.Apps.name;
+      Optimize.key_suffix ();
+      (match effort with None -> "d" | Some e -> string_of_int e) ]
+
+(* area-energy score of a variant on one application, post-mapping.
+   The mapping behind it is the costly step of the [pe_spec] climb, so
+   the score is store-memoized like any other phase product; the
+   structural [Unmappable] verdict is part of the cached result (an
+   [Error] re-raises on every hit). *)
+let score (v : Variants.t) app =
+  let key = variant_eval_key ~version:"pm-score/1" v app None in
+  match
+    Apex_exec.Store.memoize ~ns:"mapping" ~key (fun () ->
+        match Metrics.post_mapping v app with
+        | pm, _ ->
+            Ok (pm.Metrics.total_pe_area *. pm.Metrics.pe_energy_per_output)
+        | exception Apex_mapper.Cover.Unmappable m -> Error m)
+  with
+  | Ok s -> s
+  | Error m -> raise (Apex_mapper.Cover.Unmappable m)
 
 let pe_spec ?(max_subgraphs = 5) (app : Apps.t) =
   memo
@@ -115,6 +164,27 @@ type pair_result =
   | Skipped of string
   | Failed of string
 
+(* Pair evaluations are pure in (variant, app, effort, optimize config),
+   so their two *structural* verdicts are shared through the artifact
+   store like any other phase product.  Budget trips and injected
+   faults are run-local circumstances, never cached. *)
+type cached_pair =
+  | Cached_mapped of Metrics.post_pipelining
+  | Cached_unmappable of string
+
+let eval_pair ?effort (v : Variants.t) (app : Apps.t) =
+  let key = variant_eval_key ~version:"pair-eval/1" v app effort in
+  match Apex_exec.Store.lookup ~ns:"pairs" ~key with
+  | Some c -> (c : cached_pair)
+  | None ->
+      let c =
+        match Metrics.post_pipelining ?effort v app with
+        | pp -> Cached_mapped pp
+        | exception Apex_mapper.Cover.Unmappable m -> Cached_unmappable m
+      in
+      Apex_exec.Store.store ~ns:"pairs" ~key c;
+      c
+
 let mapped_opt = function Mapped pp -> Some pp | _ -> None
 
 let pair_status = function
@@ -142,12 +212,12 @@ let evaluate_pairs ?effort pairs =
       match
         Apex_guard.tick ();
         Apex_guard.Fault.inject "pair-eval";
-        Metrics.post_pipelining ?effort v app
+        eval_pair ?effort v app
       with
-      | pp ->
+      | Cached_mapped pp ->
           Apex_guard.Outcome.record ~phase:"evaluate" Apex_guard.Outcome.Exact;
           Mapped pp
-      | exception Apex_mapper.Cover.Unmappable m ->
+      | Cached_unmappable m ->
           Counter.incr "dse.unmappable_pairs";
           Unmappable m
       | exception Apex_guard.Cancelled msg ->

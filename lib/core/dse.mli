@@ -2,6 +2,14 @@
     families matching the paper's experiments, with memoization of the
     expensive steps (mining, merging, rule synthesis). *)
 
+val with_local_memo : (unit -> 'a) -> 'a
+(** Run [f] with a fresh, private variant memo table instead of the
+    process-global one (restored on exit).  A multi-tenant server wraps
+    each request in this so concurrent requests neither race the
+    unsynchronized table nor observe each other's in-memory artifacts —
+    cross-request sharing goes through the namespaced [Exec.Store].
+    Domain-local: keep the request on one domain ([Pool.serially]). *)
+
 val baseline : unit -> Variants.t
 (** The fully general PE Base (memoized). *)
 

@@ -1,0 +1,180 @@
+module Apps = Apex_halide.Apps
+module Json = Apex_telemetry.Json
+
+type t =
+  | Dse of { apps : string list; variants : string list }
+  | Analyze of { apps : string list }
+  | Lint of { apps : string list }
+  | Map of { app : string; variant : string }
+  | Mine of { app : string; top : int }
+  | Sleep of { seconds : float }
+
+let kind = function
+  | Dse _ -> "dse"
+  | Analyze _ -> "analyze"
+  | Lint _ -> "lint"
+  | Map _ -> "map"
+  | Mine _ -> "mine"
+  | Sleep _ -> "sleep"
+
+(* --- wire spec --- *)
+
+let strings l = Json.List (List.map (fun s -> Json.String s) l)
+
+let to_json t =
+  let fields =
+    match t with
+    | Dse { apps; variants } ->
+        [ ("apps", strings apps); ("variants", strings variants) ]
+    | Analyze { apps } | Lint { apps } -> [ ("apps", strings apps) ]
+    | Map { app; variant } ->
+        [ ("app", Json.String app); ("variant", Json.String variant) ]
+    | Mine { app; top } -> [ ("app", Json.String app); ("top", Json.Int top) ]
+    | Sleep { seconds } -> [ ("seconds", Json.Float seconds) ]
+  in
+  Json.Obj (("kind", Json.String (kind t)) :: fields)
+
+let bad fmt = Printf.ksprintf invalid_arg fmt
+
+let string_list j field =
+  match Json.member field j with
+  | None -> []
+  | Some (Json.List l) ->
+      List.map
+        (function
+          | Json.String s -> s
+          | _ -> bad "job: %S must be a list of strings" field)
+        l
+  | Some _ -> bad "job: %S must be a list of strings" field
+
+let string_field j field =
+  match Json.member field j with
+  | Some (Json.String s) -> s
+  | _ -> bad "job: missing string field %S" field
+
+let of_json j =
+  match Json.member "kind" j with
+  | Some (Json.String "dse") ->
+      Dse { apps = string_list j "apps"; variants = string_list j "variants" }
+  | Some (Json.String "analyze") -> Analyze { apps = string_list j "apps" }
+  | Some (Json.String "lint") -> Lint { apps = string_list j "apps" }
+  | Some (Json.String "map") ->
+      Map { app = string_field j "app"; variant = string_field j "variant" }
+  | Some (Json.String "mine") ->
+      Mine
+        { app = string_field j "app";
+          top =
+            (match Json.member "top" j with
+            | None -> 10
+            | Some v -> (
+                match Json.to_int_opt v with
+                | Some n when n >= 0 -> n
+                | _ -> bad "job: \"top\" must be a non-negative integer")) }
+  | Some (Json.String "sleep") ->
+      Sleep
+        { seconds =
+            (match Json.member "seconds" j with
+            | Some (Json.Float s) -> s
+            | Some (Json.Int s) -> float_of_int s
+            | _ -> bad "job: missing number field \"seconds\"") }
+  | Some (Json.String k) -> bad "job: unknown kind %S" k
+  | _ -> bad "job: missing string field \"kind\""
+
+(* --- execution --- *)
+
+let app_by_name name =
+  match Apps.by_name name with
+  | a -> a
+  | exception Not_found -> bad "unknown application %S (see `apex apps`)" name
+
+let resolve_apps ~all = function
+  | [] -> all ()
+  | names -> List.map app_by_name names
+
+let dse_pairs ~apps ~variants =
+  let specs_for (a : Apps.t) =
+    match variants with [] -> [ "base"; "spec:" ^ a.Apps.name ] | vs -> vs
+  in
+  List.concat_map
+    (fun (a : Apps.t) ->
+      List.map (fun spec -> (spec, Dse.variant_for spec, a)) (specs_for a))
+    apps
+
+let dse_row_json ((spec, (v : Variants.t), (a : Apps.t)), r) =
+  let fields =
+    [ ("app", Json.String a.Apps.name);
+      ("variant", Json.String v.name);
+      ("spec", Json.String spec);
+      ("status", Json.String (Dse.pair_status r)) ]
+  in
+  let fields =
+    match Dse.mapped_opt r with
+    | None -> fields
+    | Some (pp : Metrics.post_pipelining) ->
+        fields
+        @ [ ("n_pes", Json.Int pp.pnr.pm.n_pes);
+            ("cycles_per_run", Json.Int pp.cycles_per_run);
+            ("pe_stages", Json.Int pp.pe_stages);
+            ("period_ps", Json.Float pp.period_ps);
+            ("total_area", Json.Float pp.pnr.total_area);
+            ("perf_per_mm2", Json.Float pp.perf_per_mm2) ]
+  in
+  Json.Obj fields
+
+let run = function
+  | Dse { apps; variants } ->
+      let apps = resolve_apps ~all:Apps.evaluated apps in
+      let pairs = dse_pairs ~apps ~variants in
+      let results =
+        Dse.evaluate_pairs (List.map (fun (_, v, a) -> (v, a)) pairs)
+      in
+      Json.List (List.map dse_row_json (List.combine pairs results))
+  | Analyze { apps } ->
+      let apps = resolve_apps ~all:Lint_run.all_apps apps in
+      Analyze_run.to_json (Analyze_run.run apps)
+  | Lint { apps } ->
+      let apps = resolve_apps ~all:Lint_run.all_apps apps in
+      Apex_lint.Engine.report_to_json (Lint_run.run apps)
+  | Map { app; variant } ->
+      let a = app_by_name app in
+      let v = Dse.variant_for variant in
+      let pm, _ = Metrics.post_mapping v a in
+      Json.Obj
+        [ ("app", Json.String a.Apps.name);
+          ("variant", Json.String v.name);
+          ("n_pes", Json.Int pm.n_pes);
+          ("pe_area", Json.Float pm.pe_area);
+          ("total_pe_area", Json.Float pm.total_pe_area);
+          ("pe_energy_per_output", Json.Float pm.pe_energy_per_output);
+          ("utilization", Json.Float pm.utilization) ]
+  | Mine { app; top } ->
+      let a = app_by_name app in
+      let ranked = Variants.analysis_of a in
+      let rows =
+        List.filteri (fun i _ -> i < top) ranked
+        |> List.map (fun (r : Apex_mining.Analysis.ranked) ->
+               Json.Obj
+                 [ ("pattern", Json.String (Apex_mining.Pattern.code r.pattern));
+                   ("support", Json.Int r.support);
+                   ("mis_size", Json.Int r.mis_size) ])
+      in
+      Json.Obj
+        [ ("app", Json.String a.Apps.name);
+          ("n_patterns", Json.Int (List.length ranked));
+          ("top", Json.List rows) ]
+  | Sleep { seconds } ->
+      if seconds < 0.0 || seconds > 3600.0 then
+        bad "sleep: %g seconds out of range [0, 3600]" seconds;
+      (* cancellable wait: short naps with a guard tick between them, so
+         a deadline or server shutdown interrupts the hold promptly *)
+      let t0 = Unix.gettimeofday () in
+      let rec nap () =
+        Apex_guard.tick ();
+        let left = seconds -. (Unix.gettimeofday () -. t0) in
+        if left > 0.0 then begin
+          Unix.sleepf (Float.min 0.01 left);
+          nap ()
+        end
+      in
+      nap ();
+      Json.Obj [ ("slept_s", Json.Float seconds) ]

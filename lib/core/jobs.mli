@@ -1,0 +1,57 @@
+(** Job specifications shared by the CLI subcommands and the serve
+    daemon.
+
+    A job names one unit of flow work — a DSE fleet, a static-analysis
+    run, a lint pass, a single mapping, a mining pass — plus its JSON
+    spec encoding (the serve wire format's ["job"] object) and one
+    runner producing the results JSON both front ends embed in their
+    reports.  Factoring this out is what makes the acceptance check
+    meaningful: `apex dse camera --json` and a served
+    [{"kind":"dse","apps":["camera"]}] go through the same pair
+    construction and the same row serializer, so their results sections
+    are byte-identical by construction. *)
+
+type t =
+  | Dse of { apps : string list; variants : string list }
+      (** [apps = []] means every evaluated application; [variants = []]
+          means the per-app default (base + spec:<app>). *)
+  | Analyze of { apps : string list }  (** [[]] = all nine built-ins *)
+  | Lint of { apps : string list }     (** [[]] = all nine built-ins *)
+  | Map of { app : string; variant : string }
+  | Mine of { app : string; top : int }
+  | Sleep of { seconds : float }
+      (** Diagnostic load: holds a worker while ticking the ambient
+          guard budget, so deadline/cancellation paths can be exercised
+          without a heavyweight flow phase. *)
+
+val kind : t -> string
+(** The wire tag: "dse", "analyze", "lint", "map", "mine", "sleep". *)
+
+val to_json : t -> Apex_telemetry.Json.t
+(** The job's wire spec, [{"kind": ...; ...}]. *)
+
+val of_json : Apex_telemetry.Json.t -> t
+(** Parse a wire spec.
+    @raise Invalid_argument on unknown kinds or malformed fields. *)
+
+val dse_pairs :
+  apps:Apex_halide.Apps.t list ->
+  variants:string list ->
+  (string * Variants.t * Apex_halide.Apps.t) list
+(** The (spec, variant, app) fleet for a DSE job: [variants] per app,
+    defaulting to [base] and [spec:<app>].  Variant construction is
+    serial and memoized; it raises [Invalid_argument] on unknown
+    variant specs. *)
+
+val dse_row_json :
+  (string * Variants.t * Apex_halide.Apps.t) * Dse.pair_result ->
+  Apex_telemetry.Json.t
+(** One DSE result row ({"app", "variant", "spec", "status"} plus the
+    metric fields when mapped) — the schema `apex dse --json` prints
+    and `--trace` embeds as its results section. *)
+
+val run : t -> Apex_telemetry.Json.t
+(** Execute the job and return its results JSON.  Raises what the flow
+    raises — [Invalid_argument] on bad names, [Cover.Unmappable],
+    [Apex_guard.Cancelled] — so front ends map failures onto the
+    shared exit-code/error-object taxonomy. *)

@@ -22,6 +22,8 @@ type t = {
   area : string;
   counters : (string * int) list;
   seconds : float;
+  extra_bands : (string * float) list;
+  info : (string * Json.t) list;
 }
 
 let schema_version = "apex.bench.snapshot/1"
@@ -66,7 +68,9 @@ let measure area phase =
   if not was_enabled then Registry.disable ();
   { area = name;
     counters = List.filter keep_counter snap.Registry.counters;
-    seconds }
+    seconds;
+    extra_bands = [];
+    info = [] }
 
 (* shared prerequisites, built OUTSIDE the measured window so the
    in-memory memo caches they warm (Variants.analysis_of) are in the
@@ -140,15 +144,21 @@ let run area =
 
 let to_json t =
   Json.Obj
-    [ ("schema", Json.String schema_version);
-      ("area", Json.String t.area);
-      ("band_unit_ms", Json.Float band_unit_ms);
-      ("band_ratio", Json.Float band_ratio);
-      ( "counters",
-        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
-      ( "time_bands",
-        Json.Obj [ ("total", Json.Int (band_of_seconds t.seconds)) ] )
-    ]
+    ([ ("schema", Json.String schema_version);
+       ("area", Json.String t.area);
+       ("band_unit_ms", Json.Float band_unit_ms);
+       ("band_ratio", Json.Float band_ratio);
+       ( "counters",
+         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) t.counters) );
+       ( "time_bands",
+         Json.Obj
+           (("total", Json.Int (band_of_seconds t.seconds))
+           :: List.map
+                (fun (k, s) -> (k, Json.Int (band_of_seconds s)))
+                t.extra_bands) ) ]
+    (* raw measurements too volatile to gate (latency ratios, exact
+       milliseconds) ride along unbanded; [diff] never reads them *)
+    @ (if t.info = [] then [] else [ ("info", Json.Obj t.info) ]))
 
 let write ~dir t =
   let path = Filename.concat dir (file_of_name t.area) in

@@ -24,6 +24,12 @@ type t = {
   area : string;
   counters : (string * int) list;  (** sorted; exact; excludes exec.* *)
   seconds : float;  (** raw wall clock of the measured phase *)
+  extra_bands : (string * float) list;
+      (** additional named timings (e.g. latency percentiles), banded
+          like [seconds] and gated by [diff] under their own names *)
+  info : (string * Apex_telemetry.Json.t) list;
+      (** ungated extras (raw milliseconds, ratios) written into an
+          ["info"] object that [diff] never reads *)
 }
 
 val schema_version : string

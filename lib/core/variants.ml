@@ -20,6 +20,24 @@ let default_mining = { Miner.default_config with max_size = 4 }
 let analysis_cache : (string * string, Analysis.ranked list) Hashtbl.t =
   Hashtbl.create 16
 
+(* request-local memo override, mirroring Dse.with_local_memo: a served
+   request must not race the process-global table or observe another
+   tenant's in-memory artifacts — sharing goes through the namespaced
+   Exec.Store below instead *)
+let local_key :
+    (string * string, Analysis.ranked list) Hashtbl.t option ref Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let memo_table () =
+  match !(Domain.DLS.get local_key) with Some t -> t | None -> analysis_cache
+
+let with_local_memo f =
+  let r = Domain.DLS.get local_key in
+  let saved = !r in
+  r := Some (Hashtbl.create 16);
+  Fun.protect f ~finally:(fun () -> r := saved)
+
 let config_key (c : Miner.config) =
   Printf.sprintf "%d/%d/%b/%d" c.min_support c.max_size c.include_consts
     c.max_subgraphs
@@ -29,6 +47,7 @@ module Store = Apex_exec.Store
 let analysis_of ?(config = default_mining) (app : Apps.t) =
   let app = Optimize.app app in
   let key = (app.name, config_key config ^ Optimize.key_suffix ()) in
+  let analysis_cache = memo_table () in
   match Hashtbl.find_opt analysis_cache key with
   | Some r ->
       Apex_telemetry.Counter.incr "dse.analysis_cache_hits";

@@ -50,3 +50,8 @@ val analysis_of :
   Apex_mining.Analysis.ranked list
 (** Memoized per-application mining + MIS ranking (mining is the
     expensive step of the flow; every variant shares it). *)
+
+val with_local_memo : (unit -> 'a) -> 'a
+(** Run [f] with a fresh, private analysis memo instead of the
+    process-global table (restored on exit) — see
+    {!Dse.with_local_memo} for the isolation contract. *)

@@ -40,6 +40,18 @@ let set_jobs n = override := Some (clamp n)
 (* true while this domain is executing pool tasks: nested maps go serial *)
 let in_task : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
+(* Run [f] with every pool map inside it degraded to serial execution,
+   exactly as if [f] were itself a pool task.  A server that already
+   runs one worker domain per request uses this to make the *request*
+   the unit of parallelism — per-phase domain fan-out under it would
+   oversubscribe the machine without changing any result (the pool's
+   serial/parallel equivalence contract). *)
+let serially f =
+  let flag = Domain.DLS.get in_task in
+  let saved = !flag in
+  flag := true;
+  Fun.protect f ~finally:(fun () -> flag := saved)
+
 (* Task dispatch with the pool-worker fault site: the armed occurrence
    raises before the task body runs, and the runner re-executes the
    task inline exactly once.  Real task exceptions are untouched — they
@@ -74,6 +86,7 @@ let parallel_map ~runners f xs =
   let next = Atomic.make 0 in
   let ctx = Registry.context () in
   let budget = Guard.context () in
+  let store_ns = Store.namespace () in
   let run_tasks () =
     let flag = Domain.DLS.get in_task in
     flag := true;
@@ -91,10 +104,13 @@ let parallel_map ~runners f xs =
     loop ()
   in
   (* spawned domains inherit the submitter's ambient budget alongside
-     its telemetry span context, so a deadline set at the CLI reaches
-     every worker's Guard.tick *)
+     its telemetry span context and store namespace, so a deadline set
+     at the CLI reaches every worker's Guard.tick and a tenant-scoped
+     request never leaks artifacts out of its namespace *)
   let worker () =
-    Registry.with_context ctx (fun () -> Guard.with_context budget run_tasks)
+    Registry.with_context ctx (fun () ->
+        Guard.with_context budget (fun () ->
+            Store.with_namespace store_ns run_tasks))
   in
   let spawned = Array.init (runners - 1) (fun _ -> Domain.spawn worker) in
   Counter.add "exec.pool_domains_spawned" (runners - 1);

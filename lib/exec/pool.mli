@@ -31,6 +31,14 @@ val set_jobs : int -> unit
 (** Fix the worker count (the CLI's [--jobs N]).  Clamped to [1, 64].
     [set_jobs 1] forces fully serial execution. *)
 
+val serially : (unit -> 'a) -> 'a
+(** [serially f] runs [f] with every pool map inside it executing
+    serially on the calling domain, as if [f] were a pool task.  By the
+    pool's contract this cannot change any result — only where the work
+    runs.  Used by callers that manage their own domains (one serve
+    worker per request) to stop per-phase fan-out from oversubscribing
+    the machine. *)
+
 val map : ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] with submission-order results. *)
 

@@ -54,9 +54,32 @@ let rec mkdir_p d =
     try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* Per-domain tenant prefix: a multi-tenant server scopes each
+   request's artifacts as "<tenant>~<phase-ns>" so tenants share warm
+   artifacts with themselves but never observe each other's.  '~' never
+   appears in the phase namespaces ("analysis", "merge", ...), so the
+   mangled name is unambiguous and stays one path segment — the
+   [stats]/[gc] directory walk is unchanged.  Domain-local like the
+   telemetry scope; [namespace]/[with_namespace] are the hand-off pair
+   Exec.Pool uses to propagate it to workers. *)
+let ns_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let namespace () = !(Domain.DLS.get ns_key)
+
+let with_namespace tenant f =
+  let r = Domain.DLS.get ns_key in
+  let saved = !r in
+  r := tenant;
+  Fun.protect f ~finally:(fun () -> r := saved)
+
+let effective_ns ns =
+  match namespace () with None -> ns | Some t -> t ^ "~" ^ ns
+
 (* namespace directories keep [gc]/[stats] walks trivial and let users
    nuke one phase's artifacts by hand without touching the rest *)
-let entry_path ~ns ~key = Filename.concat (Filename.concat (cache_dir ()) ns) key
+let entry_path ~ns ~key =
+  Filename.concat (Filename.concat (cache_dir ()) (effective_ns ns)) key
 
 let evict path = try Sys.remove path with Sys_error _ -> ()
 
@@ -192,7 +215,17 @@ let memoize ~ns ~key f =
         Counter.incr "exec.cache_misses";
         let v = f () in
         store ~ns ~key v;
-        v
+        (* Hand back the *store representation* of the value, not the
+           freshly computed one.  [fingerprint] encodes value sharing,
+           so a downstream key derived from a computed artifact would
+           differ from the same key derived from tomorrow's cache-hit
+           copy — every miss here would then cascade into one redundant
+           rebuild of each dependent entry.  Round-tripping on the miss
+           path makes the cold process and all warm successors derive
+           bit-identical downstream keys. *)
+        (match decode (Marshal.to_string v []) with
+        | Some v' -> v'
+        | None -> v)
 
 (* --- maintenance: stats and gc --- *)
 
@@ -240,13 +273,13 @@ let stats () =
     tbl []
   |> List.sort (fun a b -> String.compare a.ns b.ns)
 
-let gc ?(budget_bytes = 0) () =
-  (* newest entries survive: sort by mtime descending, keep while the
-     running total fits the budget, delete the tail *)
+(* newest entries survive: sort by mtime descending, keep while the
+   running total fits the budget, delete the tail *)
+let gc_filtered ~budget_bytes keep_ns =
   let files =
     List.sort
       (fun (_, _, _, ma) (_, _, _, mb) -> compare mb ma)
-      (entry_files ())
+      (List.filter (fun (ns, _, _, _) -> keep_ns ns) (entry_files ()))
   in
   let _, deleted, freed =
     List.fold_left
@@ -260,3 +293,14 @@ let gc ?(budget_bytes = 0) () =
       (0, 0, 0) files
   in
   (deleted, freed)
+
+let gc ?(budget_bytes = 0) () = gc_filtered ~budget_bytes (fun _ -> true)
+
+let gc_ns ~ns ?(budget_bytes = 0) () =
+  gc_filtered ~budget_bytes (String.equal ns)
+
+(* tenant quota: one budget across every "<tenant>~*" namespace, so a
+   tenant hammering one phase evicts its own oldest artifacts first and
+   cannot grow past its byte quota no matter how its traffic is mixed *)
+let gc_prefix ~prefix ?(budget_bytes = 0) () =
+  gc_filtered ~budget_bytes (String.starts_with ~prefix)

@@ -29,6 +29,17 @@ val set_enabled : bool -> unit
 (** [set_enabled false] (the CLI's [--no-cache]) makes [memoize] always
     recompute and never touch the disk. *)
 
+val namespace : unit -> string option
+(** The calling domain's tenant namespace prefix, if any. *)
+
+val with_namespace : string option -> (unit -> 'a) -> 'a
+(** [with_namespace (Some tenant) f] runs [f] with every store access
+    scoped to namespaces ["<tenant>~<ns>"]: tenants share warm
+    artifacts with their own earlier requests but never observe each
+    other's entries.  [with_namespace None f] restores the unscoped
+    default (and is how Exec.Pool hands a submitter's scope — possibly
+    absent — to its workers).  Domain-local; restored on exit. *)
+
 val fingerprint : 'a -> string
 (** Canonical binary encoding of a (closure-free) value, suitable as a
     [key] part.  Stable across runs for structurally equal values. *)
@@ -60,3 +71,13 @@ val gc : ?budget_bytes:int -> unit -> int * int
 (** [gc ~budget_bytes ()] deletes oldest entries (by mtime) until the
     cache fits the budget (default 0 = delete everything); returns
     (entries deleted, bytes freed). *)
+
+val gc_ns : ns:string -> ?budget_bytes:int -> unit -> int * int
+(** Like [gc] but confined to one namespace directory: evicts that
+    namespace's oldest entries until it fits the budget.  Other
+    namespaces are never touched. *)
+
+val gc_prefix : prefix:string -> ?budget_bytes:int -> unit -> int * int
+(** Like [gc] but over every namespace whose name starts with
+    [prefix] — one byte quota across all of a tenant's
+    ["<tenant>~*"] namespaces. *)

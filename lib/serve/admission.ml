@@ -1,0 +1,94 @@
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  max_queue : int;
+  queues : (string, 'a Queue.t) Hashtbl.t;
+  (* round-robin rotation of tenants with queued work, head serves
+     next; a tenant joins at the tail on its first pending entry and
+     rejoins at the tail after being served while still nonempty *)
+  mutable rotation : string list;
+  mutable depth : int;
+  mutable closed : bool;
+}
+
+let create ~max_queue =
+  if max_queue < 1 then
+    invalid_arg (Printf.sprintf "Admission.create: max_queue %d < 1" max_queue);
+  { lock = Mutex.create ();
+    nonempty = Condition.create ();
+    max_queue;
+    queues = Hashtbl.create 8;
+    rotation = [];
+    depth = 0;
+    closed = false }
+
+let submit t ~tenant v =
+  Mutex.protect t.lock (fun () ->
+      if t.closed then `Closed
+      else if t.depth >= t.max_queue then `Full
+      else begin
+        let q =
+          match Hashtbl.find_opt t.queues tenant with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace t.queues tenant q;
+              q
+        in
+        if Queue.is_empty q then t.rotation <- t.rotation @ [ tenant ];
+        Queue.push v q;
+        t.depth <- t.depth + 1;
+        Condition.signal t.nonempty;
+        `Admitted
+      end)
+
+(* take the head entry of the rotation's head tenant; caller holds the
+   lock and has checked the rotation is nonempty *)
+let take_locked t =
+  match t.rotation with
+  | [] -> assert false
+  | tenant :: rest ->
+      let q = Hashtbl.find t.queues tenant in
+      let v = Queue.pop q in
+      t.depth <- t.depth - 1;
+      t.rotation <- (if Queue.is_empty q then rest else rest @ [ tenant ]);
+      v
+
+let pop t =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if t.rotation <> [] then Some (take_locked t)
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let pop_batch t ~max =
+  Mutex.protect t.lock (fun () ->
+      let rec wait () =
+        if t.rotation <> [] then begin
+          (* drain round-robin up to [max] without blocking again: the
+             batch mirrors what [max] successive pops would return *)
+          let batch = ref [] in
+          while t.rotation <> [] && List.length !batch < max do
+            batch := take_locked t :: !batch
+          done;
+          Some (List.rev !batch)
+        end
+        else if t.closed then None
+        else begin
+          Condition.wait t.nonempty t.lock;
+          wait ()
+        end
+      in
+      wait ())
+
+let close t =
+  Mutex.protect t.lock (fun () ->
+      t.closed <- true;
+      Condition.broadcast t.nonempty)
+
+let depth t = Mutex.protect t.lock (fun () -> t.depth)

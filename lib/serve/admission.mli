@@ -1,0 +1,38 @@
+(** Admission control: a bounded, multi-tenant, round-robin work queue.
+
+    Submissions are grouped per tenant; [pop] serves tenants in
+    round-robin rotation (one entry per turn), so a tenant flooding the
+    queue delays its own later requests, not everyone else's.  The
+    total queued depth is capped: a submit past the cap is a typed
+    reject, never a block — the admission decision must be instant so
+    the connection can answer "over capacity" while the workers grind.
+
+    Deterministic: rotation order is tenant arrival order, entries
+    within a tenant are FIFO, and no decision depends on timing — the
+    fairness property is unit-testable without a running server. *)
+
+type 'a t
+
+val create : max_queue:int -> 'a t
+(** [max_queue] caps entries admitted but not yet popped (>= 1). *)
+
+val submit : 'a t -> tenant:string -> 'a -> [ `Admitted | `Full | `Closed ]
+
+val pop : 'a t -> 'a option
+(** Block until an entry is available (round-robin across tenants) or
+    the queue is closed and drained; [None] means "no more work ever" —
+    the worker should exit. *)
+
+val pop_batch : 'a t -> max:int -> 'a list option
+(** Like {!pop}, but once at least one entry is available, drain up to
+    [max] entries without blocking again — exactly the sequence [max]
+    successive [pop]s would have returned.  The returned list is
+    nonempty; [None] means closed and drained. *)
+
+val close : 'a t -> unit
+(** Stop admitting ([submit] returns [`Closed]); blocked and future
+    [pop]s keep draining what was already admitted, then return
+    [None].  Idempotent. *)
+
+val depth : 'a t -> int
+(** Entries admitted and not yet popped. *)

@@ -1,0 +1,41 @@
+module Json = Apex_telemetry.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect ?(retries = 50) path =
+  let rec go attempt =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_UNIX path) with
+    | () -> { fd }
+    | exception Unix.Unix_error ((ENOENT | ECONNREFUSED) as e, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if attempt >= retries then
+          raise
+            (Sys_error
+               (Printf.sprintf "serve: cannot connect to %s: %s" path
+                  (Unix.error_message e)))
+        else begin
+          Unix.sleepf 0.1;
+          go (attempt + 1)
+        end
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  go 0
+
+let request t req =
+  Proto.write_frame t.fd (Json.to_string (Proto.request_to_json req));
+  match Proto.read_frame t.fd with
+  | Some payload -> (
+      match Json.of_string payload with
+      | Result.Ok j -> Proto.response_of_json j
+      | Result.Error m ->
+          invalid_arg ("serve: malformed response JSON: " ^ m))
+  | None -> raise (Sys_error "serve: connection closed before a response")
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let one_shot ~socket req =
+  let c = connect socket in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> request c req)

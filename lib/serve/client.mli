@@ -1,0 +1,21 @@
+(** Client side of the serve protocol: what `apex submit`, the serve
+    bench and the tests use to talk to a daemon. *)
+
+type t
+(** One connection; requests on it are synchronous (send, wait). *)
+
+val connect : ?retries:int -> string -> t
+(** Connect to the daemon's socket, retrying [retries] times (default
+    50) at 100 ms intervals while the socket is missing or refusing —
+    covers the daemon still starting up.
+    @raise Sys_error when the daemon never comes up. *)
+
+val request : t -> Proto.request -> Proto.response
+(** Send one request frame and block for its response.
+    @raise Sys_error on a broken connection,
+    [Invalid_argument] on a malformed response. *)
+
+val close : t -> unit
+
+val one_shot : socket:string -> Proto.request -> Proto.response
+(** [connect], one [request], [close]. *)

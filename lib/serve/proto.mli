@@ -1,0 +1,87 @@
+(** Wire protocol of the apex serve daemon.
+
+    Transport: length-prefixed JSON frames over a Unix domain stream
+    socket.  A frame is the payload byte length in ASCII decimal, one
+    ['\n'], then exactly that many payload bytes.  Requests and
+    responses alternate per connection (submit, wait, read; repeat), so
+    a connection carries at most one in-flight request and concurrency
+    comes from opening connections.
+
+    Request object:
+    {v
+      { "schema":     "apex.serve/1",
+        "tenant":     "alice",          // [A-Za-z0-9_-]{1,64}
+        "job":        { "kind": "dse", ... },   // see Jobs
+        "deadline_s": 2.5 }             // optional, relative seconds
+    v}
+
+    Response object, success:
+    {v
+      { "schema": "apex.serve/1",
+        "status": "ok",
+        "report": { ...apex.telemetry/1 report with results... } }
+    v}
+
+    Response object, failure — the error object reuses the CLI's
+    five-way exit-code map (1 unmappable / 2 invalid-argument /
+    3 io-error / 4 cancelled / 5 fault-injected), with admission
+    rejects reported as kind ["over-capacity"] under code 4:
+    {v
+      { "schema": "apex.serve/1",
+        "status": "error",
+        "error": { "error": "cancelled", "message": "...",
+                   "exit_code": 4 } }
+    v} *)
+
+val schema_version : string
+(** ["apex.serve/1"] — sent in every frame, checked on receipt. *)
+
+val max_frame_bytes : int
+(** Upper bound on a frame payload (defends the daemon against a
+    garbage length prefix). *)
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one frame, handling short writes.  @raise Sys_error on a
+    closed or broken peer. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Read one frame; [None] on clean EOF at a frame boundary.
+    @raise Sys_error on a malformed length prefix, an oversized frame,
+    or EOF mid-frame. *)
+
+(** {1 Messages} *)
+
+type request = {
+  tenant : string;
+  job : Apex.Jobs.t;
+  deadline_s : float option;
+}
+
+type error = { code : int; kind : string; message : string }
+
+type response = Ok of Apex_telemetry.Json.t | Error of error
+
+val validate_tenant : string -> (unit, string) result
+(** Tenant names become cache-namespace path segments, so they are
+    restricted to [A-Za-z0-9_-], nonempty, at most 64 bytes. *)
+
+val request_to_json : request -> Apex_telemetry.Json.t
+
+val request_of_json : Apex_telemetry.Json.t -> (request, error) result
+(** Schema/tenant/job validation errors come back as the typed error
+    object to send in reply (always code 2, invalid-argument). *)
+
+val error_to_json : error -> Apex_telemetry.Json.t
+(** The CLI-shaped error object:
+    [{"error": kind, "message": ..., "exit_code": code}]. *)
+
+val response_to_json : response -> Apex_telemetry.Json.t
+
+val response_of_json : Apex_telemetry.Json.t -> response
+(** @raise Invalid_argument on a malformed response object. *)
+
+val error_of_exn : exn -> error
+(** Map a job execution failure onto the five-way taxonomy (unknown
+    exceptions land on code 3, io-error). *)

@@ -1,0 +1,298 @@
+module Counter = Apex_telemetry.Counter
+module Registry = Apex_telemetry.Registry
+module Report = Apex_telemetry.Report
+module Json = Apex_telemetry.Json
+module Guard = Apex_guard
+module Pool = Apex_exec.Pool
+module Store = Apex_exec.Store
+
+type config = {
+  socket_path : string;
+  jobs : int;
+  max_queue : int;
+  default_deadline_s : float option;
+  tenant_quota_bytes : int option;
+}
+
+(* a pending request: the parsed request, its admission-time budget,
+   and the promise its connection thread blocks on *)
+type pending = {
+  req : Proto.request;
+  budget : Guard.Budget.t;
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  mutable resp : Proto.response option;
+}
+
+type t = {
+  config : config;
+  root : Guard.Budget.t;
+  queue : pending Admission.t;
+  lsock : Unix.file_descr;
+  stop : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  mutable scheduler_thread : Thread.t option;
+  conns_lock : Mutex.t;
+  mutable conns : Thread.t list;
+}
+
+let socket_path t = t.config.socket_path
+
+(* Serve-level counters must land in the global scope no matter which
+   thread bumps them: connection threads share the main domain — and
+   therefore its domain-local current scope — with any request the
+   scheduler is executing inline there, so an unpinned increment during
+   that window would leak into the request's report. *)
+let in_global f = Registry.with_scope Registry.global_scope f
+
+let fulfill p resp =
+  Mutex.protect p.p_lock (fun () ->
+      p.resp <- Some resp;
+      Condition.signal p.p_cond)
+
+let await p =
+  Mutex.protect p.p_lock (fun () ->
+      let rec go () =
+        match p.resp with
+        | Some r -> r
+        | None ->
+            Condition.wait p.p_cond p.p_lock;
+            go ()
+      in
+      go ())
+
+(* --- request execution (worker domains) --- *)
+
+(* The isolation stack, outside in: a fresh telemetry scope (reports
+   aggregate as if the request ran alone), the request as the unit of
+   parallelism (per-phase pool maps degrade to serial — the worker
+   domain is the parallelism), the tenant's cache namespace (artifact
+   sharing is intra-tenant only), request-local variant/analysis memos
+   (no cross-request traffic through process memory — sharing goes
+   through the namespaced store), and the request budget as ambient
+   (every hot loop's tick sees the deadline and the server cancel). *)
+let run_isolated ~tenant ~budget job =
+  Registry.with_scope (Registry.new_scope ()) @@ fun () ->
+  Pool.serially @@ fun () ->
+  Store.with_namespace (Some tenant) @@ fun () ->
+  Apex.Dse.with_local_memo @@ fun () ->
+  Apex.Variants.with_local_memo @@ fun () ->
+  Guard.with_budget budget @@ fun () ->
+  let results = Apex.Jobs.run job in
+  let snap = Registry.snapshot () in
+  Report.to_json ~results snap
+
+(* a request is dead on arrival at the scheduler when it was cancelled
+   while queued (server shutdown) or its deadline expired waiting *)
+let queued_reject (p : pending) =
+  match Guard.Budget.cancelled p.budget with
+  | Some reason -> Some reason
+  | None -> (
+      match Guard.Budget.remaining_s p.budget with
+      | Some 0.0 -> Some "deadline exceeded while queued"
+      | _ -> None)
+
+let execute t (p : pending) =
+  let { Proto.tenant; job; _ } = p.req in
+  match queued_reject p with
+  | Some reason ->
+      in_global (fun () -> Counter.incr "serve.requests_cancelled");
+      Proto.Error { code = 4; kind = "cancelled"; message = reason }
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let resp =
+        match run_isolated ~tenant ~budget:p.budget job with
+        | report -> Proto.Ok report
+        | exception e -> Proto.Error (Proto.error_of_exn e)
+      in
+      (* tenant byte quota: trim the tenant's namespaces oldest-first
+         after every request, so a tenant can exceed the quota only by
+         the size of one request's artifacts *)
+      (match t.config.tenant_quota_bytes with
+      | Some budget_bytes ->
+          let deleted, freed =
+            Store.gc_prefix ~prefix:(tenant ^ "~") ~budget_bytes ()
+          in
+          if deleted > 0 then
+            in_global (fun () ->
+                Counter.add "serve.quota_evictions" deleted;
+                Counter.add "serve.quota_bytes_freed" freed)
+      | None -> ());
+      in_global (fun () ->
+          Counter.observe "serve.request_ms"
+            (1e3 *. (Unix.gettimeofday () -. t0));
+          match resp with
+          | Proto.Ok _ -> Counter.incr "serve.requests_completed"
+          | Proto.Error e when e.code = 4 ->
+              Counter.incr "serve.requests_cancelled"
+          | Proto.Error _ -> Counter.incr "serve.requests_failed");
+      resp
+
+(* The scheduler: drain the admission queue round-robin into batches of
+   at most [jobs] requests and hand each batch to [Pool.map], which
+   adapts the fan-out to the machine — spawned domains when cores allow
+   it, serial inline execution otherwise.  The request stays the unit
+   of parallelism either way ([run_isolated] degrades per-phase maps to
+   serial), and on a small host serial inline execution is not a
+   fallback but the fast path: executing on the main domain keeps minor
+   collections domain-local, where running requests on dedicated worker
+   domains would pay a stop-the-world rendezvous with every blocked
+   sibling domain on every minor GC — measured at three orders of
+   magnitude over the domain-local cost on a single-core host. *)
+let rec scheduler_loop t =
+  match Admission.pop_batch t.queue ~max:t.config.jobs with
+  | None -> ()
+  | Some batch ->
+      let results = Pool.map (fun p -> (p, execute t p)) batch in
+      List.iter (fun (p, resp) -> fulfill p resp) results;
+      scheduler_loop t
+
+(* --- connection threads (main domain) --- *)
+
+let process t payload =
+  match Json.of_string payload with
+  | Result.Error _ ->
+      Proto.Error
+        { code = 2; kind = "invalid-argument";
+          message = "request: malformed JSON" }
+  | Result.Ok j -> (
+      match Proto.request_of_json j with
+      | Result.Error e -> Proto.Error e
+      | Result.Ok req ->
+          let deadline_s =
+            match (req.deadline_s, t.config.default_deadline_s) with
+            | None, None -> None
+            | Some s, None | None, Some s -> Some s
+            | Some a, Some b -> Some (Float.min a b)
+          in
+          let budget =
+            match deadline_s with
+            | None -> Guard.Budget.child t.root
+            | Some deadline_s -> Guard.Budget.child ~deadline_s t.root
+          in
+          let p =
+            { req; budget; p_lock = Mutex.create ();
+              p_cond = Condition.create (); resp = None }
+          in
+          (match Admission.submit t.queue ~tenant:req.tenant p with
+          | `Admitted ->
+              in_global (fun () -> Counter.incr "serve.requests_admitted");
+              await p
+          | `Full ->
+              in_global (fun () -> Counter.incr "serve.requests_rejected");
+              Proto.Error
+                { code = 4; kind = "over-capacity";
+                  message =
+                    Printf.sprintf
+                      "queue depth %d reached; resubmit when load drops"
+                      t.config.max_queue }
+          | `Closed ->
+              in_global (fun () -> Counter.incr "serve.requests_rejected");
+              Proto.Error
+                { code = 4; kind = "cancelled";
+                  message = "server is shutting down" }))
+
+let handle_conn t fd =
+  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  Fun.protect ~finally @@ fun () ->
+  let rec loop () =
+    match Proto.read_frame fd with
+    | None -> ()
+    | Some payload ->
+        let resp = process t payload in
+        Proto.write_frame fd (Json.to_string (Proto.response_to_json resp));
+        loop ()
+  in
+  (* a peer that vanishes mid-frame or mid-reply only loses its own
+     connection *)
+  try loop () with Sys_error _ -> ()
+
+let accept_loop t =
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      (* select with a short timeout so a stop request (set by a signal
+         handler: no mutex, no wakeup pipe needed) is noticed promptly *)
+      (match Unix.select [ t.lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+          match Unix.accept t.lsock with
+          | fd, _ ->
+              let th = Thread.create (fun () -> handle_conn t fd) () in
+              Mutex.protect t.conns_lock (fun () -> t.conns <- th :: t.conns)
+          | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- lifecycle --- *)
+
+let start config =
+  if config.jobs < 1 then
+    invalid_arg (Printf.sprintf "serve: --jobs %d < 1" config.jobs);
+  if config.max_queue < 1 then
+    invalid_arg (Printf.sprintf "serve: --max-queue %d < 1" config.max_queue);
+  (match config.default_deadline_s with
+  | Some s when s <= 0.0 ->
+      invalid_arg (Printf.sprintf "serve: --deadline %g is not positive" s)
+  | _ -> ());
+  Registry.enable ();
+  (* replace a stale socket file from a previous run; a *live* daemon
+     on the same path will have its listener stolen, which Unix domain
+     sockets cannot distinguish — one daemon per path is the contract *)
+  (try Unix.unlink config.socket_path with Unix.Unix_error _ -> ());
+  let lsock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind lsock (Unix.ADDR_UNIX config.socket_path);
+     Unix.listen lsock 64
+   with e ->
+     (try Unix.close lsock with Unix.Unix_error _ -> ());
+     raise e);
+  let t =
+    { config;
+      root = Guard.Budget.v ();
+      queue = Admission.create ~max_queue:config.max_queue;
+      lsock;
+      stop = Atomic.make false;
+      accept_thread = None;
+      scheduler_thread = None;
+      conns_lock = Mutex.create ();
+      conns = [] }
+  in
+  t.scheduler_thread <- Some (Thread.create scheduler_loop t);
+  t.accept_thread <- Some (Thread.create accept_loop t);
+  t
+
+let request_stop ?(reason = "server shutdown") t =
+  (* async-signal-safe: one atomic store plus an atomic CAS; the accept
+     loop and the guard ticks do the actual unwinding *)
+  Atomic.set t.stop true;
+  Guard.Budget.cancel ~reason t.root
+
+let join t =
+  (match t.accept_thread with
+  | Some th ->
+      Thread.join th;
+      t.accept_thread <- None
+  | None -> ());
+  (* no new connections past this point: stop admitting and let the
+     scheduler drain — queued entries carry a cancelled budget, so each
+     is answered cancelled/4 without running *)
+  Admission.close t.queue;
+  (match t.scheduler_thread with
+  | Some th ->
+      Thread.join th;
+      t.scheduler_thread <- None
+  | None -> ());
+  (* every promise is fulfilled; connection threads flush their replies
+     and exit when the peers close *)
+  let conns = Mutex.protect t.conns_lock (fun () -> t.conns) in
+  List.iter Thread.join conns;
+  t.conns <- [];
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ()
+
+let shutdown t =
+  request_stop t;
+  join t

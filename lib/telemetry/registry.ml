@@ -1,9 +1,9 @@
-(* Global in-memory telemetry registry.
+(* In-memory telemetry registry with scoped aggregates.
 
    Everything is gated on [enabled]: when the registry is disabled (the
    default) every instrumentation entry point is a branch on one atomic
    bool and returns immediately — no clock reads, no hashtable traffic,
-   no span allocation.  [spans_allocated] exists so the test suite can
+   no span allocation.  [spans_created] exists so the test suite can
    assert that fast path.
 
    Spans aggregate by (parent path, name): entering "merging" two
@@ -11,13 +11,23 @@
    and the summed wall-clock time, which keeps both memory and the
    report bounded no matter how hot the instrumented loop is.
 
-   Domain safety: the registry is shared by every domain of the
-   process (the Exec.Pool workers included).  All mutable aggregate
-   state — the span tree, counters, gauges, distributions — is guarded
-   by one mutex; the *span stack* is domain-local (each domain nests
-   its own spans), and a pool worker inherits the submitting domain's
-   current span via [context]/[with_context] so its spans aggregate
-   under the same (parent, name) keys a serial run would produce. *)
+   Scopes: all aggregate state — the span tree, counters, gauges,
+   distributions — lives in a [scope] record.  The process starts with
+   one global scope and every call site that doesn't ask for anything
+   else keeps writing to it, so a CLI run behaves exactly as before.
+   A concurrent server runs each request under [with_scope
+   (new_scope ())] so two in-flight requests aggregate into disjoint
+   trees and produce the same reports they would produce alone.  The
+   *current* scope is domain-local (Domain.DLS); a fresh domain starts
+   in the global scope.
+
+   Domain safety: scopes may still be shared across domains (the
+   Exec.Pool workers of one request all write to that request's scope),
+   so all aggregate state is guarded by one process-wide mutex; the
+   *span stack* is domain-local (each domain nests its own spans), and
+   a pool worker inherits the submitting domain's scope and current
+   span via [context]/[with_context] so its spans aggregate under the
+   same (parent, name) keys a serial run would produce. *)
 
 type dist = {
   mutable n : int;
@@ -59,12 +69,8 @@ let lock = Mutex.create ()
 
 let locked f = Mutex.protect lock f
 
-let spans_allocated = ref 0
-
-let spans_created () = locked (fun () -> !spans_allocated)
-
-let new_span ~counted name =
-  if counted then incr spans_allocated;
+let new_span ~scope_alloc name =
+  (match scope_alloc with None -> () | Some r -> incr r);
   { name;
     count = 0;
     total_s = 0.0;
@@ -75,23 +81,58 @@ let new_span ~counted name =
     children = Hashtbl.create 4 }
 
 let new_root () =
-  let r = new_span ~counted:false "root" in
+  let r = new_span ~scope_alloc:None "root" in
   r.count <- 1;
   r
 
-let root = ref (new_root ())
+(* --- scopes --- *)
 
-(* per-domain span stack; a fresh domain starts at the root *)
+type scope = {
+  mutable root : span;
+  spans_allocated : int ref;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float) Hashtbl.t;
+  dists : (string, dist) Hashtbl.t;
+}
+
+let new_scope () =
+  { root = new_root ();
+    spans_allocated = ref 0;
+    counters = Hashtbl.create 64;
+    gauges = Hashtbl.create 16;
+    dists = Hashtbl.create 16 }
+
+let global_scope = new_scope ()
+
+(* per-domain current scope; a fresh domain starts in the global one *)
+let scope_key : scope ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref global_scope)
+
+let cur () = !(Domain.DLS.get scope_key)
+
+(* per-domain span stack; a fresh domain starts at the scope root *)
 let stack_key : span list ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref [])
 
 let stack () = Domain.DLS.get stack_key
 
-let counters : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* Run [f] with [sc] as this domain's scope and a fresh span stack;
+   both are restored on exit, so scopes nest.  The scope record itself
+   may be shared with other domains (a request's pool workers), which
+   is why all aggregate access stays under the global lock. *)
+let with_scope sc f =
+  let r = Domain.DLS.get scope_key in
+  let st = stack () in
+  let saved_scope = !r in
+  let saved_stack = !st in
+  r := sc;
+  st := [];
+  Fun.protect f
+    ~finally:(fun () ->
+      r := saved_scope;
+      st := saved_stack)
 
-let gauges : (string, float) Hashtbl.t = Hashtbl.create 16
-
-let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
+let spans_created () = locked (fun () -> !((cur ()).spans_allocated))
 
 (* --- trace events (the Chrome trace-event exporter's feed) ---
 
@@ -101,7 +142,8 @@ let dists : (string, dist) Hashtbl.t = Hashtbl.create 16
    the bounded aggregate tree exists to avoid.  [set_events true] is
    therefore opt-in per run (`apex profile --chrome-trace`).  Each
    event carries the recording domain's id as its tid, so spans run on
-   Exec.Pool workers land on their own timeline rows. *)
+   Exec.Pool workers land on their own timeline rows.  Events stay
+   process-global (one timeline per process, whatever the scope). *)
 
 type event = { ev_name : string; ts_us : float; dur_us : float; tid : int }
 
@@ -142,24 +184,31 @@ let events () =
 let events_dropped () = locked (fun () -> !ev_dropped)
 
 let reset () =
+  let sc = cur () in
   locked (fun () ->
-      root := new_root ();
+      sc.root <- new_root ();
       (stack ()) := [];
-      spans_allocated := 0;
-      epoch := Unix.gettimeofday ();
-      ev_buf := [];
-      ev_count := 0;
-      ev_dropped := 0;
-      Hashtbl.reset counters;
-      Hashtbl.reset gauges;
-      Hashtbl.reset dists)
+      sc.spans_allocated := 0;
+      Hashtbl.reset sc.counters;
+      Hashtbl.reset sc.gauges;
+      Hashtbl.reset sc.dists;
+      (* the event timeline is process-global; only a reset of the
+         global scope rewinds it, so a request scope resetting itself
+         cannot clobber a concurrent profile's trace *)
+      if sc == global_scope then begin
+        epoch := Unix.gettimeofday ();
+        ev_buf := [];
+        ev_count := 0;
+        ev_dropped := 0
+      end)
 
 (* --- spans (used via Span.with_) --- *)
 
-let current () = match !(stack ()) with sp :: _ -> sp | [] -> !root
+let current () = match !(stack ()) with sp :: _ -> sp | [] -> (cur ()).root
 
 let enter name =
   let st = stack () in
+  let sc = cur () in
   let sp =
     locked (fun () ->
         let parent = current () in
@@ -167,7 +216,7 @@ let enter name =
           match Hashtbl.find_opt parent.children name with
           | Some sp -> sp
           | None ->
-              let sp = new_span ~counted:true name in
+              let sp = new_span ~scope_alloc:(Some sc.spans_allocated) name in
               Hashtbl.replace parent.children name sp;
               parent.rev_order <- name :: parent.rev_order;
               sp
@@ -193,34 +242,44 @@ let leave sp ~dt ~minor ~major ~compactions =
 
 (* --- fork-join context hand-off (used by Exec.Pool) --- *)
 
-(* the submitting domain's current span, to be installed as a worker's
-   stack base so the worker's spans nest exactly where serial execution
-   would have put them *)
-let context () = current ()
+(* the submitting domain's scope and current span, to be installed as
+   a worker's base so the worker's spans nest exactly where serial
+   execution would have put them — and in the same scope *)
+type context = { ctx_scope : scope; ctx_span : span }
 
-let with_context sp f =
-  let st = stack () in
-  let saved = !st in
-  st := [ sp ];
-  Fun.protect f ~finally:(fun () -> st := saved)
+let context () = { ctx_scope = cur (); ctx_span = current () }
+
+let with_context ctx f =
+  with_scope ctx.ctx_scope (fun () ->
+      let st = stack () in
+      st := [ ctx.ctx_span ];
+      f ())
 
 (* --- counters, gauges, distributions --- *)
 
 let counter_add name n =
-  if Atomic.get enabled then
+  if Atomic.get enabled then begin
+    let sc = cur () in
     locked (fun () ->
-        match Hashtbl.find_opt counters name with
+        match Hashtbl.find_opt sc.counters name with
         | Some r -> r := !r + n
-        | None -> Hashtbl.replace counters name (ref n))
+        | None -> Hashtbl.replace sc.counters name (ref n))
+  end
 
 let counter_get name =
+  let sc = cur () in
   locked (fun () ->
-      match Hashtbl.find_opt counters name with Some r -> !r | None -> 0)
+      match Hashtbl.find_opt sc.counters name with Some r -> !r | None -> 0)
 
 let gauge_set name v =
-  if Atomic.get enabled then locked (fun () -> Hashtbl.replace gauges name v)
+  if Atomic.get enabled then begin
+    let sc = cur () in
+    locked (fun () -> Hashtbl.replace sc.gauges name v)
+  end
 
-let gauge_get name = locked (fun () -> Hashtbl.find_opt gauges name)
+let gauge_get name =
+  let sc = cur () in
+  locked (fun () -> Hashtbl.find_opt sc.gauges name)
 
 let max_samples = 65_536
 
@@ -237,9 +296,10 @@ let push_sample d v =
   end
 
 let observe name v =
-  if Atomic.get enabled then
+  if Atomic.get enabled then begin
+    let sc = cur () in
     locked (fun () ->
-        match Hashtbl.find_opt dists name with
+        match Hashtbl.find_opt sc.dists name with
         | Some d ->
             d.n <- d.n + 1;
             d.sum <- d.sum +. v;
@@ -252,13 +312,15 @@ let observe name v =
                 samples = [||] }
             in
             push_sample d v;
-            Hashtbl.replace dists name d)
+            Hashtbl.replace sc.dists name d)
+  end
 
 let copy_dist d = { d with samples = Array.sub d.samples 0 d.stored }
 
 let dist_get name =
+  let sc = cur () in
   locked (fun () ->
-      match Hashtbl.find_opt dists name with
+      match Hashtbl.find_opt sc.dists name with
       | Some d -> Some (copy_dist d)
       | None -> None)
 
@@ -305,8 +367,9 @@ let sorted_bindings tbl value =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot () =
+  let sc = cur () in
   locked (fun () ->
-      let spans = copy_span !root in
+      let spans = copy_span sc.root in
       (* the root has no own timing or GC activity; report both as the
          sum of its children *)
       List.iter
@@ -317,6 +380,6 @@ let snapshot () =
           spans.compactions <- spans.compactions + c.compactions)
         (children_in_order spans);
       { spans;
-        counters = sorted_bindings counters (fun r -> !r);
-        gauges = sorted_bindings gauges Fun.id;
-        dists = sorted_bindings dists copy_dist })
+        counters = sorted_bindings sc.counters (fun r -> !r);
+        gauges = sorted_bindings sc.gauges Fun.id;
+        dists = sorted_bindings sc.dists copy_dist })

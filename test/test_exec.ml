@@ -232,6 +232,65 @@ let test_stats_and_gc_budget () =
   check Alcotest.(list string) "empty" []
     (List.map (fun (s : Store.ns_stats) -> s.ns) (Store.stats ()))
 
+let test_tenant_namespaces () =
+  let key = Store.key ~version:"t/1" [ "shared" ] in
+  let computes = ref 0 in
+  let memo () =
+    Store.memoize ~ns:"arts" ~key (fun () ->
+        incr computes;
+        "payload")
+  in
+  (* two tenants memoize the same (ns, key): each computes once, into
+     its own "<tenant>~arts" directory *)
+  check Alcotest.string "alice computes" "payload"
+    (Store.with_namespace (Some "alice") memo);
+  check Alcotest.string "bob computes his own" "payload"
+    (Store.with_namespace (Some "bob") memo);
+  check Alcotest.int "no cross-tenant sharing" 2 !computes;
+  check Alcotest.string "alice warm" "payload"
+    (Store.with_namespace (Some "alice") memo);
+  check Alcotest.int "intra-tenant sharing" 2 !computes;
+  (* the tenant prefix is a real path segment the stats walker sees *)
+  let names = List.map (fun (s : Store.ns_stats) -> s.ns) (Store.stats ()) in
+  check Alcotest.(list string) "namespaces on disk"
+    [ "alice~arts"; "bob~arts" ] names;
+  (* the ambient namespace is scoped: outside, the raw ns is back *)
+  check Alcotest.(option string) "no ambient namespace" None
+    (Store.namespace ());
+  check Alcotest.string "unprefixed is distinct" "payload" (memo ());
+  check Alcotest.int "third copy" 3 !computes
+
+let test_gc_ns_and_prefix () =
+  let put ns i =
+    Store.store ~ns ~key:(Store.key ~version:"t/1" [ string_of_int i ])
+      (String.make 500 'y')
+  in
+  List.iter (put "alice~rules") [ 1; 2 ];
+  List.iter (put "alice~merge") [ 1 ];
+  List.iter (put "bob~rules") [ 1; 2 ];
+  (* per-namespace gc touches exactly the one namespace *)
+  let deleted, freed = Store.gc_ns ~ns:"alice~merge" () in
+  check Alcotest.int "one entry gone" 1 deleted;
+  check Alcotest.bool "bytes counted" true (freed >= 500);
+  (* prefix gc with a budget trims the tenant, oldest first, and never
+     crosses into another tenant's namespaces *)
+  let adir = Filename.concat (Store.cache_dir ()) "alice~rules" in
+  let old = Unix.time () -. 3600.0 in
+  let entries = Sys.readdir adir in
+  Array.sort compare entries;
+  Unix.utimes (Filename.concat adir entries.(0)) old old;
+  let deleted, _ = Store.gc_prefix ~prefix:"alice~" ~budget_bytes:600 () in
+  check Alcotest.int "oldest alice entry evicted" 1 deleted;
+  let left = List.map (fun (s : Store.ns_stats) -> s.ns) (Store.stats ()) in
+  check Alcotest.(list string) "bob untouched"
+    [ "alice~rules"; "bob~rules" ] left;
+  let bob =
+    List.find
+      (fun (s : Store.ns_stats) -> s.ns = "bob~rules")
+      (Store.stats ())
+  in
+  check Alcotest.int "bob keeps both entries" 2 bob.entries
+
 let test_concurrent_memoize () =
   (* parallel writers of the same key must never corrupt the entry or
      crash; one of the atomically-renamed writes wins *)
@@ -274,5 +333,9 @@ let () =
             (with_scratch_store test_stale_version_recovers);
           Alcotest.test_case "stats and gc budget" `Quick
             (with_scratch_store test_stats_and_gc_budget);
+          Alcotest.test_case "tenant namespaces" `Quick
+            (with_scratch_store test_tenant_namespaces);
+          Alcotest.test_case "gc by namespace and prefix" `Quick
+            (with_scratch_store test_gc_ns_and_prefix);
           Alcotest.test_case "concurrent memoize" `Quick
             (with_scratch_store test_concurrent_memoize) ] ) ]

@@ -419,6 +419,53 @@ let test_budget_crosses_pool_domains =
         (List.init 16 (fun _ -> -1))
         ys)
 
+let test_two_ambient_budgets_concurrent_domains () =
+  (* Two budgets live at once, each ambient on its own domain: one
+     trips on its fuel, the other keeps ticking untouched until its own
+     token is cancelled with a distinct reason.  The DLS ambient is
+     per-domain state — neither domain's trip may leak into the other's
+     tick. *)
+  let b1 = Budget.v ~fuel:50 () in
+  let b2 = Budget.v () in
+  let d1 =
+    Domain.spawn (fun () ->
+        Guard.with_budget b1 (fun () ->
+            let rec go n =
+              if n > 10_000 then `Never_tripped
+              else
+                match Guard.tick () with
+                | () -> go (n + 1)
+                | exception Guard.Cancelled m -> `Tripped (n, m)
+            in
+            go 0))
+  in
+  let d2 =
+    Domain.spawn (fun () ->
+        Guard.with_budget b2 (fun () ->
+            (* more ticks than b1's whole fuel allowance: b1 running dry
+               on the sibling domain must not reach this budget *)
+            for _ = 1 to 1_000 do
+              Guard.tick ()
+            done;
+            Budget.cancel ~reason:"domain-2 local stop" b2;
+            match Guard.tick () with
+            | () -> `Never_tripped
+            | exception Guard.Cancelled m -> `Tripped m))
+  in
+  (match Domain.join d1 with
+  | `Tripped (n, m) ->
+      check Alcotest.string "b1 tripped on its fuel" "fuel exhausted" m;
+      check Alcotest.bool "within the allowance" true (n <= 50)
+  | `Never_tripped -> Alcotest.fail "b1's fuel never ran out");
+  (match Domain.join d2 with
+  | `Tripped m ->
+      check Alcotest.string "b2 tripped only on its own cancel"
+        "domain-2 local stop" m
+  | `Never_tripped -> Alcotest.fail "b2's cancel never tripped");
+  (* the main domain's ambient was never touched by either *)
+  check Alcotest.bool "main ambient still unlimited" true
+    (Budget.is_unlimited (Guard.current ()))
+
 let () =
   Alcotest.run "guard"
     [ ( "budget",
@@ -468,4 +515,6 @@ let () =
           Alcotest.test_case "pool-worker (parallel)" `Quick
             (guarded test_fault_pool_worker_parallel);
           Alcotest.test_case "budget crosses pool domains" `Quick
-            (guarded test_budget_crosses_pool_domains) ] ) ]
+            (guarded test_budget_crosses_pool_domains);
+          Alcotest.test_case "two ambient budgets on two domains" `Quick
+            (guarded test_two_ambient_budgets_concurrent_domains) ] ) ]

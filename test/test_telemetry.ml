@@ -211,6 +211,61 @@ let test_context_handoff () =
   check Alcotest.(list string) "task under submit" [ "task" ]
     (child_names submit)
 
+let test_scope_isolation () =
+  (* aggregates written inside [with_scope] stay in that scope: the
+     global counters, spans and distributions never see them, and two
+     scopes never see each other *)
+  Counter.incr "shared.counter";
+  let sc_a = Registry.new_scope () in
+  let sc_b = Registry.new_scope () in
+  Registry.with_scope sc_a (fun () ->
+      check Alcotest.int "scope A starts clean" 0
+        (Counter.get "shared.counter");
+      Counter.incr "shared.counter";
+      Counter.observe "scope.ms" 1.0;
+      Span.with_ "scoped-phase" ignore);
+  Registry.with_scope sc_b (fun () ->
+      check Alcotest.int "scope B never saw A" 0
+        (Counter.get "shared.counter");
+      Counter.add "shared.counter" 10);
+  (* back in the global scope: only the pre-scope increment remains *)
+  check Alcotest.int "global untouched" 1 (Counter.get "shared.counter");
+  check Alcotest.bool "global has no scoped dist" true
+    (Registry.dist_get "scope.ms" = None);
+  let snap = Registry.snapshot () in
+  check Alcotest.bool "global has no scoped span" true
+    (not (List.exists
+            (fun (c : Registry.span) -> c.name = "scoped-phase")
+            (Registry.children_in_order snap.spans)));
+  (* re-entering a scope finds its aggregates intact *)
+  Registry.with_scope sc_a (fun () ->
+      check Alcotest.int "scope A kept its count" 1
+        (Counter.get "shared.counter");
+      let sa = Registry.snapshot () in
+      check Alcotest.bool "scope A kept its span" true
+        (List.exists
+           (fun (c : Registry.span) -> c.name = "scoped-phase")
+           (Registry.children_in_order sa.spans)));
+  Registry.with_scope sc_b (fun () ->
+      check Alcotest.int "scope B kept its count" 10
+        (Counter.get "shared.counter"))
+
+let test_scope_shared_across_domains () =
+  (* one request's scope is shared by its pool workers: a worker given
+     the submitter's context writes into the submitter's scope *)
+  let sc = Registry.new_scope () in
+  Registry.with_scope sc (fun () ->
+      let ctx = Registry.context () in
+      let d =
+        Domain.spawn (fun () ->
+            Registry.with_context ctx (fun () ->
+                Counter.incr "worker.counter"))
+      in
+      Domain.join d;
+      check Alcotest.int "worker wrote the scope" 1
+        (Counter.get "worker.counter"));
+  check Alcotest.int "global never saw it" 0 (Counter.get "worker.counter")
+
 (* --- JSON encoder / parser --- *)
 
 let roundtrip v =
@@ -397,6 +452,11 @@ let () =
             (with_registry test_concurrent_hammer);
           Alcotest.test_case "context hand-off" `Quick
             (with_registry test_context_handoff) ] );
+      ( "scopes",
+        [ Alcotest.test_case "isolation" `Quick
+            (with_registry test_scope_isolation);
+          Alcotest.test_case "shared across domains" `Quick
+            (with_registry test_scope_shared_across_domains) ] );
       ( "json",
         [ Alcotest.test_case "value roundtrip" `Quick test_json_roundtrip_values;
           Alcotest.test_case "parser rejects garbage" `Quick
