@@ -73,8 +73,10 @@ let pop_batch t ~max =
           (* drain round-robin up to [max] without blocking again: the
              batch mirrors what [max] successive pops would return *)
           let batch = ref [] in
-          while t.rotation <> [] && List.length !batch < max do
-            batch := take_locked t :: !batch
+          let n = ref 0 in
+          while t.rotation <> [] && !n < max do
+            batch := take_locked t :: !batch;
+            incr n
           done;
           Some (List.rev !batch)
         end

@@ -24,6 +24,10 @@ type pending = {
   mutable resp : Proto.response option;
 }
 
+(* a live connection: the handler thread and its socket, so shutdown
+   can wake a handler parked in [read_frame] by shutting the fd down *)
+type conn = { th : Thread.t; fd : Unix.file_descr }
+
 type t = {
   config : config;
   root : Guard.Budget.t;
@@ -33,16 +37,17 @@ type t = {
   mutable accept_thread : Thread.t option;
   mutable scheduler_thread : Thread.t option;
   conns_lock : Mutex.t;
-  mutable conns : Thread.t list;
+  mutable conns : conn list;
 }
 
 let socket_path t = t.config.socket_path
 
-(* Serve-level counters must land in the global scope no matter which
-   thread bumps them: connection threads share the main domain — and
-   therefore its domain-local current scope — with any request the
-   scheduler is executing inline there, so an unpinned increment during
-   that window would leak into the request's report. *)
+(* Serve-level counters must land in the global scope no matter where
+   they are bumped.  The registry's current scope is sys-thread-local,
+   so connection threads already sit in the global scope even while the
+   scheduler executes a request inline on the same domain; the explicit
+   pin documents that intent and keeps these counters global should a
+   caller ever run them from inside some other scope. *)
 let in_global f = Registry.with_scope Registry.global_scope f
 
 let fulfill p resp =
@@ -143,8 +148,11 @@ let rec scheduler_loop t =
   match Admission.pop_batch t.queue ~max:t.config.jobs with
   | None -> ()
   | Some batch ->
-      let results = Pool.map (fun p -> (p, execute t p)) batch in
-      List.iter (fun (p, resp) -> fulfill p resp) results;
+      (* fulfill inside the task: a finished response reaches its
+         connection thread immediately rather than waiting out the
+         batch's slowest request behind the Pool.map barrier *)
+      ignore
+        (Pool.map (fun p -> fulfill p (execute t p)) batch : unit list);
       scheduler_loop t
 
 (* --- connection threads (main domain) --- *)
@@ -193,7 +201,14 @@ let process t payload =
                   message = "server is shutting down" }))
 
 let handle_conn t fd =
-  let finally () = try Unix.close fd with Unix.Unix_error _ -> () in
+  (* prune our own entry, then close — both under conns_lock, so [join]
+     can never shut down an fd the handler has already closed (and a
+     long-running daemon does not accumulate a handle per connection) *)
+  let finally () =
+    Mutex.protect t.conns_lock (fun () ->
+        t.conns <- List.filter (fun c -> c.fd <> fd) t.conns;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+  in
   Fun.protect ~finally @@ fun () ->
   let rec loop () =
     match Proto.read_frame fd with
@@ -217,8 +232,12 @@ let accept_loop t =
       | _ -> (
           match Unix.accept t.lsock with
           | fd, _ ->
-              let th = Thread.create (fun () -> handle_conn t fd) () in
-              Mutex.protect t.conns_lock (fun () -> t.conns <- th :: t.conns)
+              (* spawn while holding conns_lock: the handler's own
+                 removal also takes it, so the entry is registered
+                 before the handler can possibly prune it *)
+              Mutex.protect t.conns_lock (fun () ->
+                  let th = Thread.create (fun () -> handle_conn t fd) () in
+                  t.conns <- { th; fd } :: t.conns)
           | exception Unix.Unix_error _ -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
@@ -285,11 +304,23 @@ let join t =
       Thread.join th;
       t.scheduler_thread <- None
   | None -> ());
-  (* every promise is fulfilled; connection threads flush their replies
-     and exit when the peers close *)
-  let conns = Mutex.protect t.conns_lock (fun () -> t.conns) in
-  List.iter Thread.join conns;
-  t.conns <- [];
+  (* every promise is fulfilled; each connection thread flushes its
+     in-flight reply and then blocks in read_frame waiting for its
+     peer, so wake them: shutting down the read side makes the blocked
+     read return EOF without perturbing a reply still being written.
+     An idle client holding its connection open can therefore no
+     longer stall shutdown.  Done under conns_lock so a handler cannot
+     close its fd between our snapshot and the shutdown call. *)
+  let conns =
+    Mutex.protect t.conns_lock (fun () ->
+        List.iter
+          (fun c ->
+            try Unix.shutdown c.fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+          t.conns;
+        t.conns)
+  in
+  List.iter (fun c -> Thread.join c.th) conns;
   (try Unix.close t.lsock with Unix.Unix_error _ -> ());
   try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ()
 

@@ -18,14 +18,18 @@
    A concurrent server runs each request under [with_scope
    (new_scope ())] so two in-flight requests aggregate into disjoint
    trees and produce the same reports they would produce alone.  The
-   *current* scope is domain-local (Domain.DLS); a fresh domain starts
-   in the global scope.
+   *current* scope is local to the *system thread* (not the domain: all
+   of a domain's sys-threads share its Domain.DLS slots, and a server
+   whose connection threads and inline-executed requests coexist on the
+   main domain must not race on one shared current-scope cell); a fresh
+   thread — including a fresh domain's initial thread — starts in the
+   global scope.
 
    Domain safety: scopes may still be shared across domains (the
    Exec.Pool workers of one request all write to that request's scope),
    so all aggregate state is guarded by one process-wide mutex; the
-   *span stack* is domain-local (each domain nests its own spans), and
-   a pool worker inherits the submitting domain's scope and current
+   *span stack* is thread-local (each thread nests its own spans), and
+   a pool worker inherits the submitting thread's scope and current
    span via [context]/[with_context] so its spans aggregate under the
    same (parent, name) keys a serial run would produce. *)
 
@@ -104,35 +108,71 @@ let new_scope () =
 
 let global_scope = new_scope ()
 
-(* per-domain current scope; a fresh domain starts in the global one *)
-let scope_key : scope ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref global_scope)
+(* Current scope and span stack, keyed by *system thread*.  Domain.DLS
+   would be the wrong granularity: every Thread.create thread of a
+   domain shares that domain's DLS slots, so the serve daemon — whose
+   connection threads, scheduler thread, and inline-executed requests
+   all live on the main domain — would race one shared current-scope
+   cell, and a save/set/restore window in one thread could leak another
+   thread's counters into the wrong scope or pin the domain to a dead
+   request scope.  The record's fields are only ever touched by the
+   owning thread; [tlock] guards just the table structure.  An entry is
+   dropped as soon as it is back to the default state, so the table is
+   bounded by the threads concurrently using telemetry, not by every
+   thread ever started. *)
 
-let cur () = !(Domain.DLS.get scope_key)
+type tstate = {
+  mutable sc : scope; (* current scope *)
+  mutable st : span list; (* span stack, innermost first *)
+  mutable pinned : int; (* live [with_scope] frames *)
+}
 
-(* per-domain span stack; a fresh domain starts at the scope root *)
-let stack_key : span list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
+let tlock = Mutex.create ()
 
-let stack () = Domain.DLS.get stack_key
+let tstates : (int, tstate) Hashtbl.t = Hashtbl.create 16
 
-(* Run [f] with [sc] as this domain's scope and a fresh span stack;
+let tstate () =
+  let id = Thread.id (Thread.self ()) in
+  Mutex.protect tlock (fun () ->
+      match Hashtbl.find_opt tstates id with
+      | Some ts -> ts
+      | None ->
+          let ts = { sc = global_scope; st = []; pinned = 0 } in
+          Hashtbl.replace tstates id ts;
+          ts)
+
+let maybe_drop ts =
+  let default =
+    ts.pinned = 0 && ts.sc == global_scope
+    && match ts.st with [] -> true | _ -> false
+  in
+  if default then
+    Mutex.protect tlock (fun () ->
+        Hashtbl.remove tstates (Thread.id (Thread.self ())))
+
+let cur () = (tstate ()).sc
+
+(* Run [f] with [sc] as this thread's scope and a fresh span stack;
    both are restored on exit, so scopes nest.  The scope record itself
-   may be shared with other domains (a request's pool workers), which
+   may be shared with other threads (a request's pool workers), which
    is why all aggregate access stays under the global lock. *)
 let with_scope sc f =
-  let r = Domain.DLS.get scope_key in
-  let st = stack () in
-  let saved_scope = !r in
-  let saved_stack = !st in
-  r := sc;
-  st := [];
+  let ts = tstate () in
+  let saved_scope = ts.sc in
+  let saved_stack = ts.st in
+  ts.sc <- sc;
+  ts.st <- [];
+  ts.pinned <- ts.pinned + 1;
   Fun.protect f
     ~finally:(fun () ->
-      r := saved_scope;
-      st := saved_stack)
+      ts.sc <- saved_scope;
+      ts.st <- saved_stack;
+      ts.pinned <- ts.pinned - 1;
+      maybe_drop ts)
 
-let spans_created () = locked (fun () -> !((cur ()).spans_allocated))
+let spans_created () =
+  let sc = cur () in
+  locked (fun () -> !(sc.spans_allocated))
 
 (* --- trace events (the Chrome trace-event exporter's feed) ---
 
@@ -184,10 +224,11 @@ let events () =
 let events_dropped () = locked (fun () -> !ev_dropped)
 
 let reset () =
-  let sc = cur () in
+  let ts = tstate () in
+  let sc = ts.sc in
   locked (fun () ->
       sc.root <- new_root ();
-      (stack ()) := [];
+      ts.st <- [];
       sc.spans_allocated := 0;
       Hashtbl.reset sc.counters;
       Hashtbl.reset sc.gauges;
@@ -204,14 +245,20 @@ let reset () =
 
 (* --- spans (used via Span.with_) --- *)
 
-let current () = match !(stack ()) with sp :: _ -> sp | [] -> (cur ()).root
+let current () =
+  let ts = tstate () in
+  match ts.st with sp :: _ -> sp | [] -> ts.sc.root
 
 let enter name =
-  let st = stack () in
-  let sc = cur () in
+  let ts = tstate () in
+  let sc = ts.sc in
   let sp =
+    (* parent resolution stays under the lock: a concurrent [reset] of
+       this scope may swap [sc.root] out from under us *)
     locked (fun () ->
-        let parent = current () in
+        let parent =
+          match ts.st with sp :: _ -> sp | [] -> sc.root
+        in
         let sp =
           match Hashtbl.find_opt parent.children name with
           | Some sp -> sp
@@ -224,7 +271,7 @@ let enter name =
         sp.count <- sp.count + 1;
         sp)
   in
-  st := sp :: !st;
+  ts.st <- sp :: ts.st;
   sp
 
 let leave sp ~dt ~minor ~major ~compactions =
@@ -233,12 +280,13 @@ let leave sp ~dt ~minor ~major ~compactions =
       sp.minor_words <- sp.minor_words +. minor;
       sp.major_words <- sp.major_words +. major;
       sp.compactions <- sp.compactions + compactions);
-  let st = stack () in
-  match !st with
-  | top :: rest when top == sp -> st := rest
+  let ts = tstate () in
+  (match ts.st with
+  | top :: rest when top == sp -> ts.st <- rest
   | _ ->
       (* a reset happened inside the span: drop whatever is stale *)
-      st := List.filter (fun s -> not (s == sp)) !st
+      ts.st <- List.filter (fun s -> not (s == sp)) ts.st);
+  maybe_drop ts
 
 (* --- fork-join context hand-off (used by Exec.Pool) --- *)
 
@@ -251,8 +299,7 @@ let context () = { ctx_scope = cur (); ctx_span = current () }
 
 let with_context ctx f =
   with_scope ctx.ctx_scope (fun () ->
-      let st = stack () in
-      st := [ ctx.ctx_span ];
+      (tstate ()).st <- [ ctx.ctx_span ];
       f ())
 
 (* --- counters, gauges, distributions --- *)

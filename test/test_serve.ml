@@ -306,6 +306,28 @@ let test_e2e_shutdown_cancels_in_flight t socket =
   | Some (Proto.Ok _) -> Alcotest.fail "30s sleep finished under cancel"
   | None -> Alcotest.fail "no response recorded"
 
+let test_e2e_shutdown_with_idle_conn t socket =
+  (* an idle client that keeps its connection open must not stall
+     shutdown: join wakes the handler parked in read_frame by shutting
+     down the connection's read side, instead of waiting for the peer
+     to close.  Without that, this test hangs in Server.shutdown. *)
+  let c = Client.connect socket in
+  (* prove the connection is live, then leave it idle *)
+  (match
+     Client.request c
+       { Proto.tenant = "alice";
+         job = Apex.Jobs.Sleep { seconds = 0.01 };
+         deadline_s = None }
+   with
+  | Proto.Ok _ -> ()
+  | Proto.Error e -> Alcotest.fail e.Proto.message);
+  let t0 = Unix.gettimeofday () in
+  Server.shutdown t;
+  let dt = Unix.gettimeofday () -. t0 in
+  check Alcotest.bool "shutdown prompt despite idle connection" true
+    (dt < 5.0);
+  Client.close c
+
 let () =
   Alcotest.run "serve"
     [ ( "proto",
@@ -334,4 +356,6 @@ let () =
           Alcotest.test_case "results match standalone" `Quick
             (with_server test_e2e_results_match_cli);
           Alcotest.test_case "shutdown cancels in-flight" `Quick
-            (with_server test_e2e_shutdown_cancels_in_flight) ] ) ]
+            (with_server test_e2e_shutdown_cancels_in_flight);
+          Alcotest.test_case "shutdown with idle connection" `Quick
+            (with_server test_e2e_shutdown_with_idle_conn) ] ) ]

@@ -266,6 +266,38 @@ let test_scope_shared_across_domains () =
         (Counter.get "worker.counter"));
   check Alcotest.int "global never saw it" 0 (Counter.get "worker.counter")
 
+let test_scope_thread_isolation () =
+  (* sys-threads sharing one domain do not share a current scope: while
+     one thread sits inside [with_scope], another thread's increments
+     still land in the global scope.  The serve daemon's connection
+     threads rely on this whenever the scheduler executes a request
+     inline on the same domain. *)
+  let sc = Registry.new_scope () in
+  let in_scope = Semaphore.Binary.make false in
+  let resume = Semaphore.Binary.make false in
+  let worker =
+    Thread.create
+      (fun () ->
+        Registry.with_scope sc (fun () ->
+            Counter.incr "thread.counter";
+            Semaphore.Binary.release in_scope;
+            Semaphore.Binary.acquire resume;
+            Counter.incr "thread.counter"))
+      ()
+  in
+  Semaphore.Binary.acquire in_scope;
+  (* the worker is parked inside its request scope right now *)
+  Counter.incr "thread.counter";
+  check Alcotest.int "main thread still writes the global scope" 1
+    (Counter.get "thread.counter");
+  Semaphore.Binary.release resume;
+  Thread.join worker;
+  check Alcotest.int "global saw only the main increment" 1
+    (Counter.get "thread.counter");
+  Registry.with_scope sc (fun () ->
+      check Alcotest.int "scope saw only the worker increments" 2
+        (Counter.get "thread.counter"))
+
 (* --- JSON encoder / parser --- *)
 
 let roundtrip v =
@@ -456,7 +488,9 @@ let () =
         [ Alcotest.test_case "isolation" `Quick
             (with_registry test_scope_isolation);
           Alcotest.test_case "shared across domains" `Quick
-            (with_registry test_scope_shared_across_domains) ] );
+            (with_registry test_scope_shared_across_domains);
+          Alcotest.test_case "isolated across sys-threads" `Quick
+            (with_registry test_scope_thread_isolation) ] );
       ( "json",
         [ Alcotest.test_case "value roundtrip" `Quick test_json_roundtrip_values;
           Alcotest.test_case "parser rejects garbage" `Quick
