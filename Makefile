@@ -1,5 +1,6 @@
 CI_TRACE := /tmp/apex-ci-trace.json
 CI_ANALYZE := /tmp/apex-ci-analyze.json
+CI_CONFIGS := /tmp/apex-ci-configs.json
 CI_J1 := /tmp/apex-ci-jobs1.json
 CI_J4 := /tmp/apex-ci-jobs4.json
 CI_COLD := /tmp/apex-ci-cold.json
@@ -32,7 +33,8 @@ bench:
 	dune exec bench/main.exe
 
 # Regenerate the committed benchmark-trajectory baselines
-# (BENCH_{mining,merging,smt,dse}.json at the repo root): exact phase
+# (BENCH_{mining,merging,smt,configspace,dse,serve}.json at the repo
+# root): exact phase
 # counters plus banded wall clock.  Run this — and commit the result —
 # when a change intentionally moves the search-space counters.
 bench-snapshot:
@@ -64,6 +66,11 @@ ci: build test
 	  --require analysis.nodes_eliminated \
 	  --require analysis.cones_proved \
 	  --require analysis.width.checks_run
+	dune exec bin/apex_cli.exe -- analyze --configs --all --optimize --json --trace=$(CI_CONFIGS) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_CONFIGS) \
+	  --require analysis.configspace.checks_run \
+	  --require analysis.configspace.configs_realizable \
+	  --require analysis.configspace.proofs_proved
 	dune exec bin/apex_cli.exe -- lint --all --optimize --werror
 	dune exec bin/apex_cli.exe -- profile camera --check --no-cache --trace=$(CI_TRACE)
 	dune exec bin/apex_cli.exe -- trace-check $(CI_TRACE) \
@@ -164,6 +171,11 @@ ci-faults:
 	  --require guard.faults_injected --require guard.outcome.degraded \
 	  --require analysis.width.tested_only
 	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
+	dune exec bin/apex_cli.exe -- dse camera --no-cache --inject-fault configspace-smt-exhaust --trace=$(CI_DSE_FAULT) > /dev/null
+	dune exec bin/apex_cli.exe -- trace-check $(CI_DSE_FAULT) \
+	  --require guard.faults_injected --require guard.outcome.degraded \
+	  --require analysis.configspace.proofs_tested
+	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_DSE_BASE) $(CI_DSE_FAULT)
 	rm -rf $(CI_FAULT_CACHE)
 
 # Benchmark-trajectory regression gate: regenerate every snapshot into
@@ -177,7 +189,7 @@ ci-bench:
 	rm -rf $(CI_SNAP) && mkdir -p $(CI_SNAP)
 	dune exec bench/main.exe -- --snapshot=$(CI_SNAP) > /dev/null
 	dune exec bench/main.exe -- --serve-sweep=$(CI_SNAP) > /dev/null
-	for a in mining merging smt dse serve; do \
+	for a in mining merging smt configspace dse serve; do \
 	  dune exec bin/apex_cli.exe -- bench-diff BENCH_$$a.json $(CI_SNAP)/BENCH_$$a.json || exit 1; \
 	done
 	sed -E 's/"mining\.patterns_grown": ([0-9]+)/"mining.patterns_grown": 1\1/' \
@@ -187,7 +199,7 @@ ci-bench:
 
 clean:
 	dune clean
-	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
+	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_CONFIGS) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
 	rm -f $(CI_DSE_BASE) $(CI_DSE_FAULT)
 	rm -f $(CI_SERVE_SOCK) $(CI_SERVE_TRACE) $(CI_SERVE_OUT)
 	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE) $(CI_SNAP) $(CI_SERVE_CACHE)

@@ -458,7 +458,7 @@ let ablation_mis () =
     let patterns = List.filteri (fun i _ -> i < 3) patterns in
     let dp = List.fold_left (fun dp p -> fst (Merge.merge dp p)) dp patterns in
     let rules = Rules.rule_set dp ~patterns in
-    let v = { Variants.name; dp; patterns; rules } in
+    let v = { Variants.name; dp; patterns; rules; configspace = None } in
     let pm, _ = Metrics.post_mapping v camera in
     Format.printf "  %-12s #PEs=%4d total area=%10.0f um2@." name
       pm.Metrics.n_pes pm.Metrics.total_pe_area
@@ -612,7 +612,9 @@ let jobs_sweep file =
   let patterns = patterns_of camera in
   let dp = dp_for camera patterns in
   let rules = Rules.rule_set dp ~patterns in
-  let v = { Variants.name = "sweep"; dp; patterns; rules } in
+  let v =
+    { Variants.name = "sweep"; dp; patterns; rules; configspace = None }
+  in
   let eval_apps =
     List.filter
       (fun (app : Apps.t) ->

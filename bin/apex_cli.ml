@@ -242,26 +242,39 @@ let mine_cmd =
 (* --- analyze (static analysis facts + validated reduction) --- *)
 
 let analyze_cmd =
-  let run () trace apps all json widths =
+  let run () trace optimize apps all json widths configs =
     with_trace trace @@ fun () ->
+    set_optimize optimize;
     let apps =
       if all then Apex.Lint_run.all_apps ()
       else if apps = [] then
         invalid_arg "analyze: name at least one application, or pass --all"
       else List.map app_by_name apps
     in
-    let reports = Apex.Analyze_run.run apps in
-    if json then print_endline (Json.to_string (Apex.Analyze_run.to_json reports))
-    else Format.printf "%a" (Apex.Analyze_run.pp ~width_table:widths) reports;
-    (* a failed validation is a soundness bug in the optimizer (resp.
-       the width-inference ladder) *)
-    if
-      not
-        (List.for_all
-           (fun (r : Apex.Analyze_run.app_report) ->
-             r.validated && r.width.Apex_analysis.Width.validated)
-           reports)
-    then exit 1
+    if configs then begin
+      let reports = Apex.Configspace_run.run apps in
+      if json then
+        print_endline (Json.to_string (Apex.Configspace_run.to_json reports))
+      else Format.printf "%a" Apex.Configspace_run.pp reports;
+      (* an unrealizable registered config is a merge bug; a reverted
+         pruning is a configspace-analysis soundness bug *)
+      if Apex.Configspace_run.any_failed reports then exit 1
+    end
+    else begin
+      let reports = Apex.Analyze_run.run apps in
+      if json then
+        print_endline (Json.to_string (Apex.Analyze_run.to_json reports))
+      else Format.printf "%a" (Apex.Analyze_run.pp ~width_table:widths) reports;
+      (* a failed validation is a soundness bug in the optimizer (resp.
+         the width-inference ladder) *)
+      if
+        not
+          (List.for_all
+             (fun (r : Apex.Analyze_run.app_report) ->
+               r.validated && r.width.Apex_analysis.Width.validated)
+             reports)
+      then exit 1
+    end
   in
   let apps =
     Arg.(
@@ -287,6 +300,18 @@ let analyze_cmd =
              is below its natural hardware width, with its demanded and \
              live bit masks.  (--json always includes the table.)")
   in
+  let configs =
+    Arg.(
+      value & flag
+      & info [ "configs" ]
+          ~doc:
+            "Run the configuration-space analysis instead: for the baseline \
+             PE and each application's specialized PE, report realizability \
+             of every registered config, unreachable resources with their \
+             SAT classification, the mutual-exclusion gating facts, and the \
+             validated-pruning proof ledger.  Exits 1 on an unrealizable \
+             config or a reverted pruning.")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -294,8 +319,13 @@ let analyze_cmd =
           report value-range / known-bits facts, the validated node-count \
           reduction the optimizer achieves (constant folding, identities, \
           CSE, dead-node elimination), and the SMT-validated per-node \
-          widths the demanded-bits analysis proves.")
-    Term.(const run $ exec_t $ trace_arg $ apps $ all $ json $ widths)
+          widths the demanded-bits analysis proves.  With $(b,--configs), \
+          report the SAT-backed configuration-space analysis of the merged \
+          datapaths instead (reachability, mutual exclusion, validated \
+          pruning).")
+    Term.(
+      const run $ exec_t $ trace_arg $ optimize_arg $ apps $ all $ json
+      $ widths $ configs)
 
 (* --- pe (show a variant) --- *)
 
@@ -760,8 +790,35 @@ let lint_cmd =
           codes;
         codes
   in
-  let run () trace optimize apps all json werror only except =
+  let list_codes json =
+    let module D = Apex_lint.Diagnostic in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.List
+              (List.map
+                 (fun (i : D.info) ->
+                   Json.Obj
+                     [ ("code", Json.String i.D.code_info);
+                       ("layer", Json.String i.D.layer);
+                       ( "severity",
+                         Json.String (D.severity_string i.D.default_severity) );
+                       ("invariant", Json.String i.D.invariant) ])
+                 D.catalog)))
+    else
+      List.iter
+        (fun (i : D.info) ->
+          Format.printf "%-8s %-8s %-12s %s@." i.D.code_info
+            (D.severity_string i.D.default_severity)
+            i.D.layer i.D.invariant)
+        D.catalog
+  in
+  let run () trace optimize apps all json werror only except codes =
     with_trace trace @@ fun () ->
+    if codes then begin
+      list_codes json;
+      exit 0
+    end;
     set_optimize optimize;
     let only = parse_codes "--only" only
     and except = parse_codes "--except" except in
@@ -818,15 +875,25 @@ let lint_cmd =
             "Comma-separated diagnostic codes to drop (same syntax as \
              $(b,--only); applied after it).")
   in
+  let codes =
+    Arg.(
+      value & flag
+      & info [ "list-codes" ]
+          ~doc:
+            "Print every registered APX diagnostic code — default severity, \
+             owning layer, and the invariant it protects — and exit.  \
+             Combines with $(b,--json); needs no application names.")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Check every artifact the flow produces for an application — DFG, \
           mined patterns, merged datapath, rewrite rules, pipeline plans — \
-          against the APX invariant catalog (see DESIGN.md).")
+          against the APX invariant catalog (see DESIGN.md).  \
+          $(b,--list-codes) prints the catalog itself.")
     Term.(
       const run $ exec_t $ trace_arg $ optimize_arg $ apps $ all $ json
-      $ werror $ only $ except)
+      $ werror $ only $ except $ codes)
 
 (* --- trace-check: validate a JSON telemetry report (used by `make ci`) --- *)
 
@@ -1266,7 +1333,8 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Run the multi-tenant job daemon: DSE/analyze/lint/map/mine jobs \
+         "Run the multi-tenant job daemon: \
+          DSE/analyze/configspace/lint/map/mine jobs \
           as length-prefixed JSON over a Unix domain socket, with admission \
           control, per-tenant cache namespaces and per-request isolation. \
           SIGTERM/SIGINT shut down gracefully (queued requests are answered \
@@ -1359,7 +1427,8 @@ let submit_cmd =
       & info [] ~docv:"JOB"
           ~doc:
             "Job spec as JSON, e.g. '{\"kind\":\"dse\",\"apps\":[\"camera\"]}' \
-             (kinds: dse, analyze, lint, map, mine, sleep). Repeatable; jobs \
+             (kinds: dse, analyze, configspace, lint, map, mine, sleep). \
+             Repeatable; jobs \
              run sequentially on one connection.")
   in
   Cmd.v

@@ -1,0 +1,105 @@
+(* The `apex analyze --configs` driver: per-application
+   configuration-space report.
+
+   For each application the specialized pek:2 variant is built exactly
+   as `apex lint` builds it (same merging depth, same optimize
+   setting), and the configuration-space report captured during
+   variant construction — realizability of every registered config,
+   unreachable-resource classification, the mutual-exclusion gating
+   facts and the validated-pruning proof ledger — is surfaced.  The
+   baseline PE is reported once under the pseudo-app name "base".
+
+   A report is failing when a registered config is unrealizable (a
+   merge bug) or a pruning proof failed and the datapath was reverted;
+   the CLI maps that to exit code 1. *)
+
+module Apps = Apex_halide.Apps
+module Cs = Apex_verif.Configspace
+module Json = Apex_telemetry.Json
+
+type app_report = { app : string; report : Cs.report }
+
+let n_subgraphs = Lint_run.n_subgraphs
+
+let report_of_variant (v : Variants.t) =
+  match v.Variants.configspace with
+  | Some r -> r
+  | None ->
+      (* hand-assembled variant: analyze its datapath directly *)
+      fst (Cs.analyze ~label:v.Variants.name v.Variants.dp)
+
+let report_for (app : Apps.t) =
+  Apex_telemetry.Span.with_ ("configspace:" ^ app.Apps.name) @@ fun () ->
+  let app = Optimize.app app in
+  let v = Dse.pe_k app n_subgraphs in
+  { app = app.Apps.name; report = report_of_variant v }
+
+let base_report () =
+  { app = "base"; report = report_of_variant (Dse.baseline ()) }
+
+let run apps = base_report () :: List.map report_for apps
+
+let failed (r : app_report) =
+  r.report.Cs.survey.Cs.unrealizable <> [] || r.report.Cs.reverted
+
+let any_failed reports = List.exists failed reports
+
+let pp ppf reports =
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-10s %a@." r.app Cs.pp_report r.report)
+    reports;
+  let total f = List.fold_left (fun acc r -> acc + f r.report) 0 reports in
+  Format.fprintf ppf
+    "%d datapaths: %d configs (%d realizable), %d resources pruned, %d \
+     config bits saved, %d gated FUs; proofs: %d proved, %d tested, %d \
+     reverted@."
+    (List.length reports)
+    (total (fun r -> r.Cs.n_configs))
+    (total (fun r -> List.length r.Cs.survey.Cs.realizable))
+    (total (fun r -> r.Cs.pruned_nodes + r.Cs.pruned_edges))
+    (total (fun r -> r.Cs.survey.Cs.bits_total - r.Cs.survey.Cs.bits_reachable))
+    (total (fun r -> List.length r.Cs.survey.Cs.gated))
+    (total (fun r -> r.Cs.proofs_proved))
+    (total (fun r -> r.Cs.proofs_tested))
+    (List.length (List.filter (fun r -> r.report.Cs.reverted) reports))
+
+let to_json reports =
+  let total f = List.fold_left (fun acc r -> acc + f r.report) 0 reports in
+  Json.Obj
+    [ ( "datapaths",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [ ("app", Json.String r.app);
+                   ("report", Cs.report_to_json r.report) ])
+             reports) );
+      ( "summary",
+        Json.Obj
+          [ ("datapaths", Json.Int (List.length reports));
+            ("configs", Json.Int (total (fun r -> r.Cs.n_configs)));
+            ( "realizable",
+              Json.Int (total (fun r -> List.length r.Cs.survey.Cs.realizable))
+            );
+            ( "unrealizable",
+              Json.Int
+                (total (fun r -> List.length r.Cs.survey.Cs.unrealizable)) );
+            ( "pruned_nodes",
+              Json.Int (total (fun r -> r.Cs.pruned_nodes)) );
+            ( "pruned_edges",
+              Json.Int (total (fun r -> r.Cs.pruned_edges)) );
+            ( "config_bits_saved",
+              Json.Int
+                (total (fun r ->
+                     r.Cs.survey.Cs.bits_total - r.Cs.survey.Cs.bits_reachable))
+            );
+            ( "gated_fus",
+              Json.Int (total (fun r -> List.length r.Cs.survey.Cs.gated)) );
+            ("proofs_proved", Json.Int (total (fun r -> r.Cs.proofs_proved)));
+            ("proofs_tested", Json.Int (total (fun r -> r.Cs.proofs_tested)));
+            ( "reverted",
+              Json.Int
+                (List.length
+                   (List.filter (fun r -> r.report.Cs.reverted) reports)) );
+            ("clean", Json.Bool (not (any_failed reports))) ] ) ]

@@ -1,0 +1,29 @@
+(** The `apex analyze --configs` driver: per-application
+    configuration-space reports (see DESIGN.md "Configuration-space
+    analysis").
+
+    Builds each application's specialized pek:2 variant exactly as
+    `apex lint` does and surfaces the {!Apex_verif.Configspace.report}
+    captured during variant construction; the baseline PE is reported
+    once under the pseudo-app name ["base"]. *)
+
+type app_report = { app : string; report : Apex_verif.Configspace.report }
+
+val report_for : Apex_halide.Apps.t -> app_report
+
+val run : Apex_halide.Apps.t list -> app_report list
+(** Baseline first, then one report per application. *)
+
+val failed : app_report -> bool
+(** An unrealizable registered config (a merge bug) or a reverted
+    pruning (a failed equivalence proof) — the CLI maps either to
+    exit code 1. *)
+
+val any_failed : app_report list -> bool
+
+val pp : Format.formatter -> app_report list -> unit
+(** Per-datapath reports followed by a totals line. *)
+
+val to_json : app_report list -> Apex_telemetry.Json.t
+(** [{"datapaths": [...], "summary": {...}}] with deterministic field
+    and element order: byte-identical across [--jobs] settings. *)

@@ -73,7 +73,8 @@ let variant_eval_key ~version (v : Variants.t) (app : Apps.t) effort =
    structural [Unmappable] verdict is part of the cached result (an
    [Error] re-raises on every hit). *)
 let score (v : Variants.t) app =
-  let key = variant_eval_key ~version:"pm-score/1" v app None in
+  (* pm-score/2: idle-FU energy honors configuration-space clock gating *)
+  let key = variant_eval_key ~version:"pm-score/2" v app None in
   match
     Apex_exec.Store.memoize ~ns:"mapping" ~key (fun () ->
         match Metrics.post_mapping v app with
@@ -173,7 +174,8 @@ type cached_pair =
   | Cached_unmappable of string
 
 let eval_pair ?effort (v : Variants.t) (app : Apps.t) =
-  let key = variant_eval_key ~version:"pair-eval/1" v app effort in
+  (* pair-eval/2: idle-FU energy honors configuration-space clock gating *)
+  let key = variant_eval_key ~version:"pair-eval/2" v app effort in
   match Apex_exec.Store.lookup ~ns:"pairs" ~key with
   | Some c -> (c : cached_pair)
   | None ->

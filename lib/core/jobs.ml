@@ -4,6 +4,7 @@ module Json = Apex_telemetry.Json
 type t =
   | Dse of { apps : string list; variants : string list }
   | Analyze of { apps : string list }
+  | Configs of { apps : string list }
   | Lint of { apps : string list }
   | Map of { app : string; variant : string }
   | Mine of { app : string; top : int }
@@ -12,6 +13,7 @@ type t =
 let kind = function
   | Dse _ -> "dse"
   | Analyze _ -> "analyze"
+  | Configs _ -> "configspace"
   | Lint _ -> "lint"
   | Map _ -> "map"
   | Mine _ -> "mine"
@@ -26,7 +28,8 @@ let to_json t =
     match t with
     | Dse { apps; variants } ->
         [ ("apps", strings apps); ("variants", strings variants) ]
-    | Analyze { apps } | Lint { apps } -> [ ("apps", strings apps) ]
+    | Analyze { apps } | Configs { apps } | Lint { apps } ->
+        [ ("apps", strings apps) ]
     | Map { app; variant } ->
         [ ("app", Json.String app); ("variant", Json.String variant) ]
     | Mine { app; top } -> [ ("app", Json.String app); ("top", Json.Int top) ]
@@ -57,6 +60,7 @@ let of_json j =
   | Some (Json.String "dse") ->
       Dse { apps = string_list j "apps"; variants = string_list j "variants" }
   | Some (Json.String "analyze") -> Analyze { apps = string_list j "apps" }
+  | Some (Json.String "configspace") -> Configs { apps = string_list j "apps" }
   | Some (Json.String "lint") -> Lint { apps = string_list j "apps" }
   | Some (Json.String "map") ->
       Map { app = string_field j "app"; variant = string_field j "variant" }
@@ -132,6 +136,9 @@ let run = function
   | Analyze { apps } ->
       let apps = resolve_apps ~all:Lint_run.all_apps apps in
       Analyze_run.to_json (Analyze_run.run apps)
+  | Configs { apps } ->
+      let apps = resolve_apps ~all:Lint_run.all_apps apps in
+      Configspace_run.to_json (Configspace_run.run apps)
   | Lint { apps } ->
       let apps = resolve_apps ~all:Lint_run.all_apps apps in
       Apex_lint.Engine.report_to_json (Lint_run.run apps)

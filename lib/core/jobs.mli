@@ -16,6 +16,9 @@ type t =
       (** [apps = []] means every evaluated application; [variants = []]
           means the per-app default (base + spec:<app>). *)
   | Analyze of { apps : string list }  (** [[]] = all nine built-ins *)
+  | Configs of { apps : string list }
+      (** configuration-space reports (base PE + pek:2 per app);
+          [[]] = all nine built-ins *)
   | Lint of { apps : string list }     (** [[]] = all nine built-ins *)
   | Map of { app : string; variant : string }
   | Mine of { app : string; top : int }
@@ -25,7 +28,8 @@ type t =
           without a heavyweight flow phase. *)
 
 val kind : t -> string
-(** The wire tag: "dse", "analyze", "lint", "map", "mine", "sleep". *)
+(** The wire tag: "dse", "analyze", "configspace", "lint", "map",
+    "mine", "sleep". *)
 
 val to_json : t -> Apex_telemetry.Json.t
 (** The job's wire spec, [{"kind": ...; ...}]. *)

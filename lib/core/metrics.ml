@@ -57,10 +57,15 @@ let post_mapping (v : Variants.t) (app : Apps.t) =
   let mapped = Cover.map_app ~rules:v.rules app.graph in
   let pe_area = D.area v.dp in
   let n_pes = Cover.n_pes mapped in
+  (* gating is recomputed from the datapath rather than read off the
+     variant: the store keys fingerprint only the datapath, so two
+     variants with identical datapaths must cost identically whether or
+     not one carries an analysis report *)
+  let gated = Apex_verif.Configspace.gated_predicate v.dp in
   let energy_group =
     Array.fold_left
       (fun acc (inst : Cover.instance) ->
-        acc +. Cost.config_energy v.dp inst.config)
+        acc +. Cost.config_energy ~gated v.dp inst.config)
       0.0 mapped.instances
   in
   ( { n_pes;

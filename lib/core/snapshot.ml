@@ -3,16 +3,18 @@ module Json = Apex_telemetry.Json
 module Registry = Apex_telemetry.Registry
 module Span = Apex_telemetry.Span
 
-type area = Mining | Merging | Smt | Dse
+type area = Mining | Merging | Smt | Configspace | Dse
 
 let area_name = function
   | Mining -> "mining"
   | Merging -> "merging"
   | Smt -> "smt"
+  | Configspace -> "configspace"
   | Dse -> "dse"
 
 let areas =
-  [ ("mining", Mining); ("merging", Merging); ("smt", Smt); ("dse", Dse) ]
+  [ ("mining", Mining); ("merging", Merging); ("smt", Smt);
+    ("configspace", Configspace); ("dse", Dse) ]
 
 let file_of_name name = "BENCH_" ^ name ^ ".json"
 
@@ -119,12 +121,21 @@ let run area =
           let dp = merged_datapath app patterns in
           measure Smt (fun () ->
               ignore (Apex_mapper.Rules.rule_set dp ~patterns))
+      | Configspace ->
+          let app = camera () in
+          let patterns = top_patterns app in
+          let dp = merged_datapath app patterns in
+          measure Configspace (fun () ->
+              ignore (Apex_verif.Configspace.analyze ~label:"snapshot" dp))
       | Dse ->
           let app = camera () in
           let patterns = top_patterns app in
           let dp = merged_datapath app patterns in
           let rules = Apex_mapper.Rules.rule_set dp ~patterns in
-          let variant = { Variants.name = "snapshot"; dp; patterns; rules } in
+          let variant =
+            { Variants.name = "snapshot"; dp; patterns; rules;
+              configspace = None }
+          in
           let mappable =
             List.filter
               (fun (a : Apps.t) ->

@@ -10,7 +10,7 @@
     writes one [BENCH_<area>.json] per area; [apex bench-diff] compares
     two such files and is the [make ci] regression gate. *)
 
-type area = Mining | Merging | Smt | Dse
+type area = Mining | Merging | Smt | Configspace | Dse
 
 val areas : (string * area) list
 (** Every area with its file/report name, in canonical run order. *)

@@ -8,11 +8,14 @@ module Rules = Apex_mapper.Rules
 module Apps = Apex_halide.Apps
 module Lint = Apex_lint.Engine
 
+module Configspace = Apex_verif.Configspace
+
 type t = {
   name : string;
   dp : D.t;
   patterns : Pattern.t list;
   rules : Rules.t list;
+  configspace : Configspace.report option;
 }
 
 let default_mining = { Miner.default_config with max_size = 4 }
@@ -86,10 +89,18 @@ let interesting_patterns ?(min_mis = 4) ranked =
     ranked
 
 let make name dp patterns =
+  (* configuration-space analysis runs before the phase-boundary lint
+     and before rule synthesis: the pruned datapath (unreachable mux
+     arms and fabric deleted, every registered config re-proved
+     equivalent) is what flows into costing and mapping.  Not
+     store-memoized — like Width.infer, the analysis is cheap relative
+     to synthesis and its counters must appear identically on warm and
+     cold runs. *)
+  let report, dp = Configspace.analyze ~label:name dp in
   Check.verify "merging" [ Lint.Datapath { label = name; dp; patterns } ];
   let rules = Rules.rule_set dp ~patterns in
   Check.verify "synthesis" [ Lint.Rule_set { label = name; dp; rules } ];
-  { name; dp; patterns; rules }
+  { name; dp; patterns; rules; configspace = Some report }
 
 let baseline () = make "PE Base" (Library.baseline ()) []
 

@@ -10,10 +10,15 @@ type t = {
   dp : Apex_merging.Datapath.t;
   patterns : Apex_mining.Pattern.t list;  (** merged subgraphs, MIS order *)
   rules : Apex_mapper.Rules.t list;
+  configspace : Apex_verif.Configspace.report option;
+      (** the configuration-space gating report produced while building
+          the variant; [None] only for hand-assembled variants *)
 }
 
 val make : string -> Apex_merging.Datapath.t -> Apex_mining.Pattern.t list -> t
-(** Bundle a datapath with the patterns merged into it: synthesizes the
+(** Bundle a datapath with the patterns merged into it: runs the
+    configuration-space analysis (validated dead-resource pruning —
+    [dp] in the result is the pruned datapath), synthesizes the
     rewrite-rule set and, when {!Check.enable}d, lint-verifies the
     merged datapath and the rule set at the phase boundary. *)
 

@@ -156,6 +156,10 @@ module Fault = struct
        "width-narrowing SMT proofs unavailable: narrowings kept on \
         differential-interpreter evidence (tested-only, identical widths); \
         if that too fails, widths revert to the 16-bit naturals");
+      ("configspace-smt-exhaust",
+       "configuration-space equivalence proofs unavailable: dead-resource \
+        pruning kept on differential-evaluation evidence (tested-only, \
+        identical pruned datapaths); a differential failure still reverts");
       ("deadline", "deadline expires mid-phase: phase returns best-so-far") ]
 
   let site_names = List.map fst sites

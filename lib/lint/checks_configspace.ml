@@ -1,0 +1,58 @@
+(* Configuration-space verification of a merged datapath (APX12x).
+
+   Delegates the heavy lifting to [Apex_verif.Configspace]: the SAT
+   legality encoding classifies what the cheap reachability scan flags.
+   The split with the structural APX02x family: APX027 already warns on
+   FUs no *registered* config activates, so APX120 is reserved for the
+   stronger SAT-level fact — no legal configuration word at all can
+   activate the FU (its every op needs a port with no source, say).
+   That keeps seeded-defect tests from double-reporting one dead FU. *)
+
+module Dp = Apex_merging.Datapath
+module Cs = Apex_verif.Configspace
+module D = Diagnostic
+
+let run ~patterns:_ (dp : Dp.t) =
+  if dp.Dp.configs = [] then []
+  else begin
+    let sv = Cs.survey dp in
+    let diags = ref [] in
+    let emit d = diags := d :: !diags in
+    (* APX122: a registered config the fabric cannot decode *)
+    List.iter
+      (fun label ->
+        emit
+          (D.errorf ~loc:(D.Config label) ~code:"APX122"
+             "config has no legal configuration word (merge bug: its op, \
+              route or output selects violate the datapath's legality \
+              constraints)"))
+      sv.Cs.unrealizable;
+    (* mux fan-ins, for telling dead arms from plain dead edges *)
+    let fanin = Dp.mux_points dp in
+    let is_mux_point dst port = List.mem_assoc (dst, port) fanin in
+    List.iter
+      (fun (res, cls) ->
+        match (res, cls) with
+        | Cs.Fu_r id, Cs.Dead ->
+            emit
+              (D.warnf ~loc:(D.Node id) ~code:"APX120"
+                 "FU is SAT-dead: no legal configuration word can activate \
+                  it")
+        | Cs.Edge_r { src; dst; port }, _ when is_mux_point dst port ->
+            emit
+              (D.warnf ~loc:(D.Edge { src; dst; port }) ~code:"APX121"
+                 "dead mux arm: no registered config selects this source \
+                  (the select encoding is paid for but never used)")
+        | _ -> ())
+      sv.Cs.unreachable;
+    (* APX123: the config word prices resources the registered set
+       never reaches *)
+    if sv.Cs.bits_total > sv.Cs.bits_reachable then
+      emit
+        (D.notef ~code:"APX123"
+           "config word is over-encoded: %d bits, %d after pruning to the \
+            reachable set (%d unreachable resources)"
+           sv.Cs.bits_total sv.Cs.bits_reachable
+           (List.length sv.Cs.unreachable));
+    List.rev !diags
+  end

@@ -191,6 +191,24 @@ let catalog =
       invariant =
         "mux widths are consistent across arms: live arm bits under the \
          mux's demand fit the mux's annotated width" };
+    (* configuration space (SAT-backed, see Configspace in lib/verif) *)
+    { code_info = "APX120"; layer = "configspace"; default_severity = Warning;
+      invariant =
+        "every FU is activatable by some legal configuration word (not \
+         SAT-dead: an op select with a satisfiable route assignment exists)" };
+    { code_info = "APX121"; layer = "configspace"; default_severity = Warning;
+      invariant =
+        "no dead mux arm: every edge into a port with fan-in >= 2 is routed \
+         by at least one registered config" };
+    { code_info = "APX122"; layer = "configspace"; default_severity = Error;
+      invariant =
+        "every registered pattern config is realizable as a legal \
+         configuration word (UNSAT means the merge emitted a config the \
+         fabric cannot decode)" };
+    { code_info = "APX123"; layer = "configspace"; default_severity = Note;
+      invariant =
+        "the config word is not over-encoded: n_config_bits matches the \
+         reachable resource set (pruning would shrink the word)" };
     (* pipelining *)
     { code_info = "APX060"; layer = "pipeline"; default_severity = Error;
       invariant =

@@ -59,6 +59,13 @@ let builtins =
             Some (Checks_datapath.run ~patterns dp)
         | _ -> None)
     };
+    { name = "configspace";
+      check =
+        (function
+        | Datapath { dp; patterns; _ } ->
+            Some (Checks_configspace.run ~patterns dp)
+        | _ -> None)
+    };
     { name = "rules";
       check =
         (function

@@ -210,6 +210,10 @@ let evaluate dp config ~env =
   let memo = Array.make n None in
   let visiting = Array.make n false in
   let rec value id =
+    if id < 0 || id >= n then
+      invalid_arg
+        (Printf.sprintf "Datapath.evaluate: reference to non-existent node %d"
+           id);
     match memo.(id) with
     | Some v -> v
     | None ->

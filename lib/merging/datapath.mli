@@ -80,9 +80,18 @@ val evaluate : t -> config -> env:(int * int) list -> (int * int) list
     value to each pattern output position.  Only active edges are
     followed, so evaluation is well-defined even for configurations of
     heavily merged datapaths.
+
+    All bindings ([env], [routes], [consts], [fu_ops]) use
+    first-matching-key semantics: when a key is bound twice, the
+    earliest binding wins and the rest are ignored (they are
+    association lists probed with [List.assoc_opt]).  Routes are
+    followed whether or not a matching static edge exists — structural
+    agreement between configs and edges is {!validate}'s job, not the
+    evaluator's.
     @raise Invalid_argument naming the offending node if the active
-    subgraph is cyclic, an input is unset, an inactive FU is read, or a
-    route is missing. *)
+    subgraph is cyclic, an input is unset, an inactive FU is read, a
+    route is missing, or a route or output references a node id outside
+    the node table. *)
 
 val area : t -> float
 (** Quick area estimate (um^2): FU blocks + op slices + constant

@@ -107,6 +107,11 @@ let config_overhead ~n_config_bits =
   let b = float_of_int n_config_bits in
   c (3.2 *. b) (0.02 *. b) 0.0
 
+(* residual activity of a clock-gated idle FU: the gating cell and
+   leakage-equivalent switching, an order of magnitude below the
+   ungated idle_activity the PE cost model charges by default *)
+let gated_idle_activity = 0.02
+
 let clock_period_ps = 1100.0
 
 (* driving one 16-bit inter-tile routing segment (wire capacitance

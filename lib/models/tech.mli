@@ -58,6 +58,12 @@ val config_overhead : n_config_bits:int -> cost
 (** Configuration storage and decode logic for a PE with the given
     number of configuration bits. *)
 
+val gated_idle_activity : float
+(** Residual switching-activity fraction of a clock-gated idle FU —
+    what an FU inside a configuration-space mutual-exclusion clique
+    (see [Apex_verif.Configspace]) pays instead of the ungated idle
+    activity of [Apex_peak.Cost]. *)
+
 val clock_period_ps : float
 (** Target clock period: 1.1 ns, matching Table 2. *)
 

@@ -52,7 +52,7 @@ let fu_width_factor (n : D.node) =
   | D.Creg -> Tech.width_factor ~kind:"creg" ~width:n.width
   | D.In_port | D.Bit_in_port -> 1.0
 
-let config_energy (dp : D.t) (cfg : D.config) =
+let config_energy ?(gated = fun _ -> false) (dp : D.t) (cfg : D.config) =
   let active = active_nodes dp cfg in
   let active_energy =
     Hashtbl.fold
@@ -82,7 +82,12 @@ let config_energy (dp : D.t) (cfg : D.config) =
       (fun acc (n : D.node) ->
         match n.kind with
         | D.Fu _ when not (Hashtbl.mem active n.id) ->
-            acc +. (idle_activity *. avg_op_energy n.ops *. fu_width_factor n)
+            (* an FU the configuration-space analysis proved mutually
+               exclusive with another can be clock-gated while idle *)
+            let activity =
+              if gated n.id then Tech.gated_idle_activity else idle_activity
+            in
+            acc +. (activity *. avg_op_energy n.ops *. fu_width_factor n)
         | _ -> acc)
       0.0 dp.nodes
   in

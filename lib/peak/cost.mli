@@ -1,10 +1,20 @@
 (** PE-level cost roll-ups: per-configuration energy and delay on top of
     the structural area model of {!Apex_merging.Datapath.area}. *)
 
-val config_energy : Apex_merging.Datapath.t -> Apex_merging.Datapath.config -> float
+val config_energy :
+  ?gated:(int -> bool) ->
+  Apex_merging.Datapath.t ->
+  Apex_merging.Datapath.config ->
+  float
 (** Energy (fJ) of executing one operation under the configuration:
     active functional units, traversed intraconnect muxes and constant
-    registers.  Inactive units are assumed operand-gated. *)
+    registers.  Inactive units are NOT operand-isolated — they pay a
+    fraction of their switching energy (what makes a kitchen-sink PE
+    pay for generality) — unless [gated] says the FU can be
+    clock-gated (it belongs to a mutual-exclusion clique of the
+    configuration-space analysis), in which case it pays only
+    {!Apex_models.Tech.gated_idle_activity}.  Default: nothing is
+    gated. *)
 
 val config_delay : Apex_merging.Datapath.t -> Apex_merging.Datapath.config -> float
 (** Combinational critical path (ps) of the active subgraph: input port

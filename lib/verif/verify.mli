@@ -33,3 +33,18 @@ val verify_config :
     [conflict_budget = 200_000], [random_tests = 200]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+val encode_datapath :
+  Apex_smt.Bv.ctx ->
+  Apex_merging.Datapath.t ->
+  Apex_merging.Datapath.config ->
+  (int * Apex_smt.Bv.bv) list ->
+  Apex_smt.Bv.bv list
+(** Bit-blast the datapath under a configuration: each input-port node
+    reads its vector from the association list (unbound ports become
+    fresh variables), Cregs become constants, and active FUs fold their
+    routed arguments through {!Apex_smt.Bv.eval_op}.  Returns the
+    output vectors in position order.  Exposed for the equivalence
+    obligations of {!Configspace.analyze}.
+    @raise Failure when the config reads an inactive FU or lacks a
+    route for a needed port. *)
