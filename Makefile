@@ -14,6 +14,15 @@ CI_SERVE_SOCK := /tmp/apex-ci-serve.sock
 CI_SERVE_CACHE := /tmp/apex-ci-serve-cache
 CI_SERVE_TRACE := /tmp/apex-ci-serve-trace.json
 CI_SERVE_OUT := /tmp/apex-ci-serve-out.json
+CI_CRASH_SOCK := /tmp/apex-ci-crash.sock
+CI_CRASH_CACHE := /tmp/apex-ci-crash-cache
+CI_CRASH_CLEAN_CACHE := /tmp/apex-ci-crash-clean-cache
+CI_CRASH_JOURNAL := /tmp/apex-ci-crash.journal
+CI_CRASH_TRACE := /tmp/apex-ci-crash-trace.json
+CI_CRASH_CLEAN := /tmp/apex-ci-crash-clean.json
+CI_CRASH_OUT := /tmp/apex-ci-crash-out.json
+CI_CHAOS_A := /tmp/apex-ci-chaos-a.json
+CI_CHAOS_B := /tmp/apex-ci-chaos-b.json
 
 # The daemon must receive SIGTERM itself (dune exec does not forward
 # signals to its child), so serve smoke steps run the built binary.
@@ -91,6 +100,8 @@ ci: build test
 	dune exec bin/apex_cli.exe -- report-diff --results-only $(CI_COLD) $(CI_WARM)
 	$(MAKE) ci-faults
 	$(MAKE) ci-serve
+	$(MAKE) ci-crash
+	$(MAKE) ci-chaos
 	$(MAKE) ci-bench
 
 # Serve smoke: start the daemon against a scratch store, submit a mixed
@@ -123,6 +134,82 @@ ci-serve:
 	trap - EXIT
 	$(APEX_BIN) trace-check $(CI_SERVE_TRACE) --require serve.requests_admitted
 	rm -rf $(CI_SERVE_CACHE) && rm -f $(CI_SERVE_SOCK)
+
+# Crash-recovery smoke: the journal + per-pair checkpoints must carry a
+# daemon across SIGKILL.  First a clean daemon produces the reference
+# DSE report.  Then a journaled daemon takes a dse job plus a sleep job
+# (--jobs 1, so at kill time one is in flight and one is queued) and is
+# killed -9 one second in — no shutdown path runs.  A restart on the
+# same journal must replay the unfinished jobs to completion
+# (serve.journal_replayed in the daemon trace), a re-submission of the
+# same dse job must be results-identical to the clean reference (served
+# from the checkpoints the replay wrote), and a --strict scrub of the
+# crash-survivor cache must find zero corrupt entries (atomic
+# tmp+rename writes: a torn write never becomes an entry).
+.PHONY: ci-crash
+ci-crash:
+	rm -rf $(CI_CRASH_CACHE) $(CI_CRASH_CLEAN_CACHE)
+	rm -f $(CI_CRASH_SOCK) $(CI_CRASH_JOURNAL) $(CI_CRASH_TRACE)
+	rm -f $(CI_CRASH_CLEAN) $(CI_CRASH_OUT)
+	set -e; \
+	APEX_CACHE_DIR=$(CI_CRASH_CLEAN_CACHE) $(APEX_BIN) serve \
+	  --socket $(CI_CRASH_SOCK) --jobs 1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2> /dev/null || true' EXIT; \
+	$(APEX_BIN) submit --socket $(CI_CRASH_SOCK) --tenant crash \
+	  --out $(CI_CRASH_CLEAN) '{"kind":"dse","apps":["camera"]}'; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT
+	rm -f $(CI_CRASH_SOCK)
+	set -e; \
+	APEX_CACHE_DIR=$(CI_CRASH_CACHE) $(APEX_BIN) serve \
+	  --socket $(CI_CRASH_SOCK) --jobs 1 --journal $(CI_CRASH_JOURNAL) & \
+	pid=$$!; \
+	trap 'kill -9 $$pid 2> /dev/null || true' EXIT; \
+	( $(APEX_BIN) submit --socket $(CI_CRASH_SOCK) --tenant crash \
+	    '{"kind":"dse","apps":["camera"]}' > /dev/null 2>&1 || true ) & \
+	c1=$$!; \
+	sleep 0.2; \
+	( $(APEX_BIN) submit --socket $(CI_CRASH_SOCK) --tenant crash \
+	    '{"kind":"sleep","seconds":3}' > /dev/null 2>&1 || true ) & \
+	c2=$$!; \
+	sleep 1; \
+	kill -9 $$pid; wait $$pid 2> /dev/null || true; \
+	wait $$c1 2> /dev/null || true; wait $$c2 2> /dev/null || true; \
+	trap - EXIT
+	rm -f $(CI_CRASH_SOCK)
+	set -e; \
+	APEX_CACHE_DIR=$(CI_CRASH_CACHE) $(APEX_BIN) serve \
+	  --socket $(CI_CRASH_SOCK) --jobs 1 --journal $(CI_CRASH_JOURNAL) \
+	  --trace=$(CI_CRASH_TRACE) & \
+	pid=$$!; \
+	trap 'kill $$pid 2> /dev/null || true' EXIT; \
+	$(APEX_BIN) submit --socket $(CI_CRASH_SOCK) --tenant crash \
+	  --out $(CI_CRASH_OUT) '{"kind":"dse","apps":["camera"]}'; \
+	kill -TERM $$pid; wait $$pid; trap - EXIT
+	$(APEX_BIN) trace-check $(CI_CRASH_TRACE) --require serve.journal_replayed
+	$(APEX_BIN) report-diff --results-only $(CI_CRASH_CLEAN) $(CI_CRASH_OUT)
+	APEX_CACHE_DIR=$(CI_CRASH_CACHE) $(APEX_BIN) cache scrub --strict
+	rm -rf $(CI_CRASH_CACHE) $(CI_CRASH_CLEAN_CACHE)
+	rm -f $(CI_CRASH_SOCK) $(CI_CRASH_JOURNAL)
+
+# Seeded chaos matrix: three seeds' worth of multi-shot fault schedules
+# against a real DSE run, each required to exit through the typed
+# exit-code map with a recovered verdict (identical or degraded — both
+# exit 0; divergence or an escaped exception fails the build).  Then
+# determinism gates the harness itself: the same seed must produce a
+# byte-identical --json report twice.
+.PHONY: ci-chaos
+ci-chaos:
+	for s in 1 7 13; do \
+	  dune exec bin/apex_cli.exe -- chaos camera --seed $$s --faults 3 \
+	    || exit 1; \
+	done
+	dune exec bin/apex_cli.exe -- chaos camera --seed 1 --faults 3 --json \
+	  > $(CI_CHAOS_A)
+	dune exec bin/apex_cli.exe -- chaos camera --seed 1 --faults 3 --json \
+	  > $(CI_CHAOS_B)
+	cmp $(CI_CHAOS_A) $(CI_CHAOS_B)
+	rm -f $(CI_CHAOS_A) $(CI_CHAOS_B)
 
 # Fault-injection smoke matrix: each registered fault class, injected
 # into a real `apex dse camera` run, must (a) exit 0 — the degradation
@@ -202,4 +289,7 @@ clean:
 	rm -f $(CI_TRACE) $(CI_ANALYZE) $(CI_CONFIGS) $(CI_J1) $(CI_J4) $(CI_COLD) $(CI_WARM)
 	rm -f $(CI_DSE_BASE) $(CI_DSE_FAULT)
 	rm -f $(CI_SERVE_SOCK) $(CI_SERVE_TRACE) $(CI_SERVE_OUT)
+	rm -f $(CI_CRASH_SOCK) $(CI_CRASH_JOURNAL) $(CI_CRASH_TRACE)
+	rm -f $(CI_CRASH_CLEAN) $(CI_CRASH_OUT) $(CI_CHAOS_A) $(CI_CHAOS_B)
 	rm -rf $(CI_CACHE) $(CI_FAULT_CACHE) $(CI_SNAP) $(CI_SERVE_CACHE)
+	rm -rf $(CI_CRASH_CACHE) $(CI_CRASH_CLEAN_CACHE)

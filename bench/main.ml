@@ -774,7 +774,8 @@ let serve_sweep dir =
   let server =
     Server.start
       { socket_path = socket; jobs = 4; max_queue = 16;
-        default_deadline_s = None; tenant_quota_bytes = None }
+        default_deadline_s = None; tenant_quota_bytes = None;
+        journal_path = None }
   in
   Fun.protect ~finally:(fun () ->
       Server.shutdown server;

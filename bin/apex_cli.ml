@@ -675,9 +675,13 @@ let profile_cmd =
 
 let dse_cmd =
   let row_json = Apex.Jobs.dse_row_json in
-  let run () trace check optimize apps all variants json =
+  let run () trace check optimize apps all variants json resume =
     set_check check;
     set_optimize optimize;
+    if resume && not (Apex_exec.Store.enabled ()) then
+      invalid_arg
+        "dse: --resume resumes from per-pair checkpoints in the artifact \
+         cache; drop --no-cache";
     let apps =
       if all then Apps.evaluated ()
       else if apps = [] then
@@ -721,6 +725,13 @@ let dse_cmd =
         (List.length rows) (count "mapped") (count "unmappable")
         (count "skipped") (count "failed")
     end;
+    if resume then
+      Format.eprintf
+        "dse: resumed %d/%d pairs from checkpoints, %d evaluated and newly \
+         checkpointed@."
+        (Apex_telemetry.Counter.get "dse.pairs_resumed")
+        (List.length rows)
+        (Apex_telemetry.Counter.get "dse.pairs_checkpointed");
     let snap = Registry.snapshot () in
     if trace <> None then Format.printf "@.%a" Report.pp snap;
     match trace_report_path trace with
@@ -757,6 +768,19 @@ let dse_cmd =
       value & flag
       & info [ "json" ] ~doc:"Print the per-pair results as JSON.")
   in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume an interrupted run from per-pair checkpoints: every \
+             pair whose evaluation completed before the interruption (each \
+             one is recorded through the artifact store as it finishes) is \
+             restored instead of recomputed, and a summary of \
+             resumed-vs-evaluated counts is printed. Results are \
+             byte-identical to an uninterrupted run. Requires the cache \
+             (conflicts with --no-cache).")
+  in
   Cmd.v
     (Cmd.info "dse"
        ~doc:
@@ -767,7 +791,7 @@ let dse_cmd =
           fallbacks, flagged as guard.outcome.* in the telemetry report.")
     Term.(
       const run $ exec_t $ trace_arg $ check_arg $ optimize_arg $ apps $ all
-      $ variants $ json)
+      $ variants $ json $ resume)
 
 (* --- lint: run the checker registry over the flow's artifacts --- *)
 
@@ -1079,12 +1103,62 @@ let cache_cmd =
          ~doc:"Delete oldest cache entries until the store fits a size budget.")
       Term.(const run $ budget $ max_bytes $ ns)
   in
+  let scrub_cmd =
+    let run ns strict =
+      let stats = Apex_exec.Store.scrub ?ns () in
+      Format.printf "cache scrub %s@." (Apex_exec.Store.cache_dir ());
+      if stats = [] then Format.printf "  (no entries)@."
+      else begin
+        Format.printf "  %-12s %8s %8s %8s %8s %12s@." "namespace" "checked"
+          "ok" "corrupt" "stale" "quarantined";
+        List.iter
+          (fun (s : Apex_exec.Store.scrub_stats) ->
+            Format.printf "  %-12s %8d %8d %8d %8d %10d B@." s.scrub_ns
+              s.checked s.ok s.corrupt s.stale s.quarantined_bytes)
+          stats
+      end;
+      let corrupt =
+        List.fold_left
+          (fun acc (s : Apex_exec.Store.scrub_stats) -> acc + s.corrupt)
+          0 stats
+      in
+      if corrupt > 0 then begin
+        Format.printf
+          "cache scrub: %d corrupt entr%s quarantined under %s@." corrupt
+          (if corrupt = 1 then "y" else "ies")
+          (Filename.concat (Apex_exec.Store.cache_dir ()) "quarantine");
+        if strict then exit 1
+      end
+    in
+    let ns =
+      Arg.(
+        value & opt (some string) None
+        & info [ "ns" ] ~docv:"NS"
+            ~doc:
+              "Confine the audit to one namespace (as listed by `apex \
+               cache stats`).")
+    in
+    let strict =
+      Arg.(
+        value & flag
+        & info [ "strict" ]
+            ~doc:"Exit 1 when any corrupt entry is found (CI gating).")
+    in
+    Cmd.v
+      (Cmd.info "scrub"
+         ~doc:
+           "Integrity audit: re-verify every entry's payload digest. \
+            Corrupt entries are quarantined (moved under \
+            $(i,cache)/quarantine/, never silently deleted) and counted; \
+            stale-format entries are counted and left for gc.")
+      Term.(const run $ ns $ strict)
+  in
   Cmd.group
     (Cmd.info "cache"
        ~doc:
          "Manage the content-addressed artifact cache (APEX_CACHE_DIR, \
           default ~/.cache/apex).")
-    [ stats_cmd; gc_cmd ]
+    [ stats_cmd; gc_cmd; scrub_cmd ]
 
 (* --- report-diff: compare two telemetry reports modulo timing (the CI
    determinism guard: --jobs N and cached runs must not change what the
@@ -1276,14 +1350,15 @@ let socket_arg =
         ~doc:"Unix domain socket path the daemon listens on.")
 
 let serve_cmd =
-  let run trace socket jobs max_queue deadline quota_mb =
+  let run trace socket jobs max_queue deadline quota_mb journal =
     with_trace trace @@ fun () ->
     let config =
       { Apex_serve.Server.socket_path = socket;
         jobs;
         max_queue;
         default_deadline_s = deadline;
-        tenant_quota_bytes = Option.map (fun mb -> mb * 1024 * 1024) quota_mb }
+        tenant_quota_bytes = Option.map (fun mb -> mb * 1024 * 1024) quota_mb;
+        journal_path = journal }
     in
     let t = Apex_serve.Server.start config in
     let stop _ = Apex_serve.Server.request_stop t in
@@ -1330,6 +1405,16 @@ let serve_cmd =
              tenant's namespaces are trimmed oldest-first to $(docv) \
              mebibytes.")
   in
+  let journal =
+    Arg.(
+      value & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Write-ahead job journal: every admission is fsynced to \
+             $(docv) before it enters the queue, and on startup \
+             unfinished jobs from a previous incarnation (e.g. after \
+             kill -9) are replayed ahead of new submissions.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1342,7 +1427,7 @@ let serve_cmd =
           --trace=FILE the daemon writes its own serve.* telemetry report \
           on shutdown.")
     Term.(const run $ trace_arg $ socket_arg $ jobs $ max_queue $ deadline
-          $ quota_mb)
+          $ quota_mb $ journal)
 
 let submit_cmd =
   let run socket tenant deadline out json_flag job_strs =
@@ -1440,13 +1525,187 @@ let submit_cmd =
     Term.(
       const run $ socket_arg $ tenant $ deadline $ out $ json_flag $ job_specs)
 
+(* --- chaos: run a flow under a seeded multi-shot fault schedule and
+   check the results-identical-or-degraded contract --- *)
+
+let chaos_cmd =
+  let rec rm_rf path =
+    match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | _ -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Unix.Unix_error _ -> ()
+  in
+  let run app seed faults json =
+    if faults < 1 then invalid_arg "chaos: --faults must be at least 1";
+    ignore (app_by_name app : Apps.t);
+    Registry.enable ();
+    (* serial, so the order in which fault sites are reached — and
+       therefore which occurrence each shot hits — is deterministic;
+       that plus the seeded schedule makes the whole report a pure
+       function of (app, seed, faults) *)
+    Apex_exec.Pool.set_jobs 1;
+    let job = Apex.Jobs.Dse { apps = [ app ]; variants = [] } in
+    let scratch tag =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "apex-chaos-%d-%s" (Unix.getpid ()) tag)
+    in
+    let base_dir = scratch "baseline" and chaos_dir = scratch "chaos" in
+    (* both runs start cold in scratch caches: a warm hit would skip
+       the very code paths the schedule is aimed at *)
+    let run_flow cache =
+      Apex_exec.Store.set_dir cache;
+      Registry.reset ();
+      match Apex.Jobs.run job with
+      | results -> (results, Registry.snapshot (), None)
+      | exception e ->
+          (Json.Null, Registry.snapshot (),
+           Some (Apex_serve.Proto.error_of_exn e))
+    in
+    Fun.protect ~finally:(fun () ->
+        Apex_guard.Fault.disarm ();
+        rm_rf base_dir;
+        rm_rf chaos_dir)
+    @@ fun () ->
+    Apex_guard.Fault.disarm ();
+    let base_results, _, base_err = run_flow base_dir in
+    (match base_err with
+    | Some (e : Apex_serve.Proto.error) ->
+        invalid_arg
+          (Printf.sprintf "chaos: fault-free baseline run failed (%s: %s)"
+             e.kind e.message)
+    | None -> ());
+    Apex_guard.Fault.arm_seeded ~seed ~faults;
+    let chaos_results, snap, chaos_err = run_flow chaos_dir in
+    let schedule = Apex_guard.Fault.schedule () in
+    let counters =
+      match Json.member "counters" (Report.to_json snap) with
+      | Some (Json.Obj fs) ->
+          (* only deterministic counts: governance and flow counters,
+             never timings — the --json report must be a pure function
+             of (app, seed, faults) for the CI determinism check *)
+          List.filter
+            (fun (k, _) ->
+              (String.starts_with ~prefix:"guard." k
+              || String.starts_with ~prefix:"dse." k)
+              && not (String.ends_with ~suffix:"_ms" k))
+            fs
+      | _ -> []
+    in
+    let cval k =
+      match List.assoc_opt k counters with Some (Json.Int n) -> n | _ -> 0
+    in
+    let degraded_evidence =
+      cval "guard.outcome.degraded" > 0
+      || cval "guard.outcome.skipped" > 0
+      || List.exists
+           (fun (k, _) -> String.starts_with ~prefix:"guard.retries." k)
+           counters
+    in
+    let identical =
+      chaos_err = None
+      && String.equal
+           (Json.to_string base_results)
+           (Json.to_string chaos_results)
+    in
+    let verdict, exit_code =
+      match chaos_err with
+      | Some e ->
+          (* the fault escaped every recovery ladder but still exits
+             through the typed map — that *is* the exit-code contract *)
+          ("error:" ^ e.kind, e.code)
+      | None ->
+          if identical then ("identical", 0)
+          else if degraded_evidence then ("degraded", 0)
+          else
+            (* different results with no recorded degradation would be
+               a silent-corruption bug: fail loudly *)
+            ("diverged", 2)
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [ ("schema", Json.String "apex.chaos/1");
+                ("app", Json.String app);
+                ("seed", Json.Int seed);
+                ("faults", Json.Int faults);
+                ( "schedule",
+                  Json.List
+                    (List.map
+                       (fun (site, nth, fired) ->
+                         Json.Obj
+                           [ ("site", Json.String site);
+                             ("nth", Json.Int nth);
+                             ("fired", Json.Bool fired) ])
+                       schedule) );
+                ("verdict", Json.String verdict);
+                ("exit_code", Json.Int exit_code);
+                ("counters", Json.Obj counters) ]))
+    else begin
+      Format.printf "chaos %s: seed %d, %d shot%s@." app seed faults
+        (if faults = 1 then "" else "s");
+      List.iter
+        (fun (site, nth, fired) ->
+          Format.printf "  %-24s occurrence %d  %s@." site nth
+            (if fired then "fired" else "not reached"))
+        schedule;
+      Format.printf "chaos %s: verdict %s (%d fault%s injected)@." app verdict
+        (cval "guard.faults_injected")
+        (if cval "guard.faults_injected" = 1 then "" else "s")
+    end;
+    if exit_code <> 0 then exit exit_code
+  in
+  let app_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"APP" ~doc:"Application to run the flow on.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Schedule seed: the shots are drawn from a deterministic \
+             generator keyed on $(docv), so the same seed always injects \
+             the same faults at the same occurrences.")
+  in
+  let faults =
+    Arg.(
+      value & opt int 3
+      & info [ "faults" ] ~docv:"N"
+          ~doc:"How many (site, occurrence) shots to draw (default 3).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print the chaos report as JSON — deterministic for a given \
+             (APP, --seed, --faults), which is what the CI determinism \
+             check compares.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the DSE flow for one application twice — fault-free, then \
+          under a seeded multi-shot fault schedule drawn over every \
+          registered site — and check the crash-only contract: the faulted \
+          run's results are byte-identical to the baseline or carry typed \
+          degradation evidence (guard.outcome.*), and any escaped fault \
+          exits through the five-way exit-code map. APEX_FAULT=seed:S:N is \
+          the equivalent environment setting for any other subcommand.")
+    Term.(const run $ app_arg $ seed $ faults $ json)
+
 let main =
   let doc = "APEX: automated CGRA processing-element design-space exploration" in
   Cmd.group (Cmd.info "apex" ~version:"1.0.0" ~doc)
     [ apps_cmd; mine_cmd; analyze_cmd; pe_cmd; map_cmd; evaluate_cmd;
       verify_cmd; compile_cmd; profile_cmd; dse_cmd; lint_cmd;
       trace_check_cmd; cache_cmd; report_diff_cmd; bench_diff_cmd;
-      serve_cmd; submit_cmd ]
+      serve_cmd; submit_cmd; chaos_cmd ]
 
 let () =
   (* Error hygiene: every anticipated failure class gets a one-line

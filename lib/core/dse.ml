@@ -177,7 +177,11 @@ let eval_pair ?effort (v : Variants.t) (app : Apps.t) =
   (* pair-eval/2: idle-FU energy honors configuration-space clock gating *)
   let key = variant_eval_key ~version:"pair-eval/2" v app effort in
   match Apex_exec.Store.lookup ~ns:"pairs" ~key with
-  | Some c -> (c : cached_pair)
+  | Some c ->
+      (* a pair-granularity checkpoint: this exact evaluation completed
+         in some earlier (possibly killed) run and resumes for free *)
+      Counter.incr "dse.pairs_resumed";
+      (c : cached_pair)
   | None ->
       let c =
         match Metrics.post_pipelining ?effort v app with
@@ -185,6 +189,7 @@ let eval_pair ?effort (v : Variants.t) (app : Apps.t) =
         | exception Apex_mapper.Cover.Unmappable m -> Cached_unmappable m
       in
       Apex_exec.Store.store ~ns:"pairs" ~key c;
+      Counter.incr "dse.pairs_checkpointed";
       c
 
 let mapped_opt = function Mapped pp -> Some pp | _ -> None
@@ -214,7 +219,15 @@ let evaluate_pairs ?effort pairs =
       match
         Apex_guard.tick ();
         Apex_guard.Fault.inject "pair-eval";
-        eval_pair ?effort v app
+        (* transient failures retry with bounded deterministic backoff;
+           only exhaustion falls through to the Failed/Skipped ladder *)
+        Apex_guard.Retry.run ~label:"pair_eval"
+          ~retryable:(function
+            | Apex_guard.Fault.Injected "pair-eval-transient" -> true
+            | _ -> false)
+          (fun () ->
+            Apex_guard.Fault.inject "pair-eval-transient";
+            eval_pair ?effort v app)
       with
       | Cached_mapped pp ->
           Apex_guard.Outcome.record ~phase:"evaluate" Apex_guard.Outcome.Exact;

@@ -173,11 +173,32 @@ let decode payload =
   | v -> Some v
   | exception _ -> None
 
+(* Transient read failures (and the injected "store-read-transient"
+   site) are retried with the default bounded backoff; exhaustion
+   degrades to a miss — the caller recomputes, results identical. *)
+let read_entry_retried path =
+  let attempt () =
+    if Guard.Fault.fire "store-read-transient" then
+      raise (Sys_error "injected transient store read failure");
+    read_entry path
+  in
+  let retryable = function
+    | Sys_error _ | Unix.Unix_error _ -> true
+    | _ -> false
+  in
+  match Guard.Retry.run ~label:"store_read" ~retryable attempt with
+  | r -> r
+  | exception (Sys_error _ | Unix.Unix_error _) ->
+      Guard.Outcome.record ~phase:"cache"
+        (Guard.Outcome.Degraded
+           (Guard.Outcome.Fault "store-read-transient"));
+      Miss
+
 let lookup ~ns ~key =
   if not !on then None
   else
     let path = entry_path ~ns ~key in
-    match read_entry path with
+    match read_entry_retried path with
     | Hit _ when Guard.Fault.fire "cache-corrupt" ->
         (* the armed hit is treated exactly like on-disk corruption:
            evict and recompute, results identical to a cold lookup *)
@@ -238,6 +259,10 @@ let is_tmp_name name =
   let rec go i = i + m <= n && (String.sub name i m = sub || go (i + 1)) in
   go 0
 
+(* corrupt entries are moved (not deleted) here by [scrub]; the subtree
+   is invisible to the entry walk so stats/gc never touch evidence *)
+let quarantine_dirname = "quarantine"
+
 let entry_files () =
   let root = cache_dir () in
   if not (Sys.file_exists root && Sys.is_directory root) then []
@@ -245,7 +270,7 @@ let entry_files () =
     Sys.readdir root |> Array.to_list |> List.sort String.compare
     |> List.concat_map (fun ns ->
            let d = Filename.concat root ns in
-           if not (Sys.is_directory d) then []
+           if ns = quarantine_dirname || not (Sys.is_directory d) then []
            else
              Sys.readdir d |> Array.to_list |> List.sort String.compare
              |> List.filter_map (fun name ->
@@ -294,7 +319,44 @@ let gc_filtered ~budget_bytes keep_ns =
   in
   (deleted, freed)
 
-let gc ?(budget_bytes = 0) () = gc_filtered ~budget_bytes (fun _ -> true)
+(* Writer temp files are normally renamed away or evicted by their
+   writer; one orphaned by a crash (kill -9 mid-publish) would sit
+   forever — [entry_files] skips them, so neither gc nor stats ever
+   saw them.  Reap any older than an hour: old enough that no live
+   writer can still own them. *)
+let default_tmp_max_age_s = 3600.0
+
+let reap_tmp ?(max_age_s = default_tmp_max_age_s) () =
+  let root = cache_dir () in
+  let now = Unix.gettimeofday () in
+  if not (Sys.file_exists root && Sys.is_directory root) then 0
+  else
+    Sys.readdir root |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun reaped ns ->
+           let d = Filename.concat root ns in
+           if ns = quarantine_dirname || not (Sys.is_directory d) then reaped
+           else
+             Sys.readdir d |> Array.to_list |> List.sort String.compare
+             |> List.fold_left
+                  (fun reaped name ->
+                    if not (is_tmp_name name) then reaped
+                    else
+                      let path = Filename.concat d name in
+                      match Unix.stat path with
+                      | { Unix.st_kind = Unix.S_REG; st_mtime; _ }
+                        when now -. st_mtime > max_age_s ->
+                          evict path;
+                          reaped + 1
+                      | _ -> reaped
+                      | exception Unix.Unix_error _ -> reaped)
+                  reaped)
+         0
+
+let gc ?(budget_bytes = 0) () =
+  let reaped = reap_tmp () in
+  if reaped > 0 then Counter.add "exec.cache_tmp_reaped" reaped;
+  gc_filtered ~budget_bytes (fun _ -> true)
 
 let gc_ns ~ns ?(budget_bytes = 0) () =
   gc_filtered ~budget_bytes (String.equal ns)
@@ -304,3 +366,63 @@ let gc_ns ~ns ?(budget_bytes = 0) () =
    cannot grow past its byte quota no matter how its traffic is mixed *)
 let gc_prefix ~prefix ?(budget_bytes = 0) () =
   gc_filtered ~budget_bytes (String.starts_with ~prefix)
+
+(* --- scrub: integrity audit with quarantine --- *)
+
+type scrub_stats = {
+  scrub_ns : string;
+  checked : int;
+  ok : int;
+  corrupt : int;
+  stale : int;
+  quarantined_bytes : int;
+}
+
+(* Re-verify every entry's digest.  A corrupt entry is *quarantined* —
+   moved under <cache>/quarantine/<ns>/ — never silently deleted: bit
+   rot and torn writes are evidence worth keeping, and a quarantined
+   path can be inspected or diffed against a recomputed entry.  Stale
+   entries (older format version) are counted but left for the normal
+   lookup/gc paths to retire. *)
+let scrub ?ns () =
+  let keep = match ns with None -> fun _ -> true | Some n -> String.equal n in
+  let tbl : (string, scrub_stats) Hashtbl.t = Hashtbl.create 8 in
+  let get nsname =
+    Option.value
+      ~default:
+        { scrub_ns = nsname; checked = 0; ok = 0; corrupt = 0; stale = 0;
+          quarantined_bytes = 0 }
+      (Hashtbl.find_opt tbl nsname)
+  in
+  List.iter
+    (fun (nsname, path, size, _) ->
+      if keep nsname then begin
+        let s = get nsname in
+        let s = { s with checked = s.checked + 1 } in
+        let s =
+          match read_entry path with
+          | Hit _ -> { s with ok = s.ok + 1 }
+          | Miss -> s (* raced with an eviction; nothing to judge *)
+          | Stale -> { s with stale = s.stale + 1 }
+          | Corrupt ->
+              let qdir =
+                Filename.concat
+                  (Filename.concat (cache_dir ()) quarantine_dirname)
+                  nsname
+              in
+              mkdir_p qdir;
+              let qpath = Filename.concat qdir (Filename.basename path) in
+              (match Sys.rename path qpath with
+              | () -> Counter.incr "exec.cache_quarantined"
+              | exception Sys_error _ ->
+                  (* cannot move it (permissions?): leave it in place —
+                     scrub reports it either way *)
+                  ());
+              { s with corrupt = s.corrupt + 1;
+                quarantined_bytes = s.quarantined_bytes + size }
+        in
+        Hashtbl.replace tbl nsname s
+      end)
+    (entry_files ());
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.scrub_ns b.scrub_ns)

@@ -70,7 +70,14 @@ val stats : unit -> ns_stats list
 val gc : ?budget_bytes:int -> unit -> int * int
 (** [gc ~budget_bytes ()] deletes oldest entries (by mtime) until the
     cache fits the budget (default 0 = delete everything); returns
-    (entries deleted, bytes freed). *)
+    (entries deleted, bytes freed).  Also reaps writer temp files
+    ([*.tmp.<pid>.<domain>]) orphaned by a crashed writer, once they
+    are over an hour old (counted as [exec.cache_tmp_reaped]). *)
+
+val reap_tmp : ?max_age_s:float -> unit -> int
+(** Delete orphaned writer temp files older than [max_age_s] (default
+    3600); returns the count.  Fresh temp files are left alone — a
+    live writer may still own them. *)
 
 val gc_ns : ns:string -> ?budget_bytes:int -> unit -> int * int
 (** Like [gc] but confined to one namespace directory: evicts that
@@ -81,3 +88,20 @@ val gc_prefix : prefix:string -> ?budget_bytes:int -> unit -> int * int
 (** Like [gc] but over every namespace whose name starts with
     [prefix] — one byte quota across all of a tenant's
     ["<tenant>~*"] namespaces. *)
+
+type scrub_stats = {
+  scrub_ns : string;
+  checked : int;
+  ok : int;  (** digest verified *)
+  corrupt : int;  (** quarantined (or unremovable-in-place) *)
+  stale : int;  (** older format version; left for lookup/gc to retire *)
+  quarantined_bytes : int;
+}
+
+val scrub : ?ns:string -> unit -> scrub_stats list
+(** Integrity audit: re-verify every entry's header and payload digest
+    (optionally restricted to one namespace directory).  Corrupt
+    entries are moved — never silently deleted — into
+    [<cache>/quarantine/<ns>/], a subtree invisible to [stats]/[gc]/
+    lookups, so torn writes and bit rot stay inspectable.  Returns
+    per-namespace counts sorted by namespace. *)

@@ -137,6 +137,62 @@ module Budget = struct
   let fuel_left b = Option.map Atomic.get b.fuel
 end
 
+(* --- bounded deterministic retry --- *)
+
+module Retry = struct
+  (* Transient-failure policy for the I/O edges of the flow (store
+     reads, pair evaluations, socket loops): a bounded number of
+     attempts with *unjittered* exponential backoff, so two runs that
+     hit the same transient sequence retry on the same schedule and the
+     flow's determinism contract survives the retries.  Every retry is
+     counted under guard.retries.<label>; an exhausted policy re-raises
+     the last error and counts guard.retries_exhausted.<label>, so a
+     report can never pass persistent trouble off as transient. *)
+
+  type t = { attempts : int; base_delay_s : float; max_delay_s : float }
+
+  let default = { attempts = 3; base_delay_s = 0.01; max_delay_s = 0.5 }
+
+  let v ?(attempts = 3) ?(base_delay_s = 0.01) ?(max_delay_s = 0.5) () =
+    if attempts < 1 then
+      invalid_arg (Printf.sprintf "Retry.v: attempts %d < 1" attempts);
+    if base_delay_s < 0.0 || max_delay_s < 0.0 then
+      invalid_arg "Retry.v: negative delay";
+    { attempts; base_delay_s; max_delay_s }
+
+  (* delay after the [k]th failed attempt (k >= 1): base * 2^(k-1),
+     capped — deterministic, no jitter *)
+  let delay_s t k =
+    Float.min t.max_delay_s
+      (t.base_delay_s *. Float.of_int (1 lsl min 30 (max 0 (k - 1))))
+
+  let run ?(policy = default) ?(sleep = Unix.sleepf) ~label ~retryable f =
+    let rec go attempt =
+      match f () with
+      | v -> v
+      | exception e when retryable e ->
+          if attempt < policy.attempts then begin
+            Counter.incr ("guard.retries." ^ label);
+            let d = delay_s policy attempt in
+            if d > 0.0 then sleep d;
+            go (attempt + 1)
+          end
+          else begin
+            Counter.incr ("guard.retries_exhausted." ^ label);
+            raise e
+          end
+    in
+    go 1
+
+  (* EINTR is not a failure, it is a scheduling artifact: a signal
+     landed while the call was parked.  Every blocking Unix call in the
+     serve loops goes through this, so only code that *wants* to see
+     the interruption (the accept loop's stop check) handles it
+     explicitly. *)
+  let rec eintr f =
+    try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+end
+
 (* --- fault injection --- *)
 
 module Fault = struct
@@ -152,6 +208,12 @@ module Fault = struct
       ("store-crash", "crash mid cache write: torn temp file, entry never published");
       ("pool-worker", "pool task raises: re-executed inline by the submitting domain");
       ("pair-eval", "one (variant, app) evaluation fails: pair skipped, fleet continues");
+      ("pair-eval-transient",
+       "transient pair-evaluation failure: retried with deterministic \
+        backoff (guard.retries.pair_eval), results identical");
+      ("store-read-transient",
+       "transient store read failure: retried with deterministic backoff \
+        (guard.retries.store_read), then degraded to a cache miss");
       ("width-smt-exhaust",
        "width-narrowing SMT proofs unavailable: narrowings kept on \
         differential-interpreter evidence (tested-only, identical widths); \
@@ -168,15 +230,110 @@ module Fault = struct
 
   let armed : armed option ref = ref None
 
+  (* Seeded multi-shot schedules: [arm_seeded] draws a deterministic
+     sequence of (site, nth-occurrence) shots over *all* registered
+     sites from a fixed-seed PRNG.  One chaos run then exercises
+     several recovery ladders at once, and the same seed always yields
+     the same schedule — `apex chaos --seed S` runs are reproducible
+     down to the report bytes (on a serial, cold-cache run, where each
+     site's occurrence order is deterministic). *)
+  type shot = { shot_site : string; shot_nth : int; mutable fired : bool }
+
+  type seeded_schedule = {
+    seed : int;
+    shots : shot list;
+    (* per-site occurrence counters; a shot fires when its site's
+       counter reaches the shot's nth occurrence *)
+    occurrences : (string, int ref) Hashtbl.t;
+    slock : Mutex.t;
+  }
+
+  let seeded : seeded_schedule option ref = ref None
+
   (* cached per-site flag so Guard.tick only pays for the deadline site
      when that site is actually armed *)
   let deadline_armed = ref false
 
   let disarm () =
     armed := None;
+    seeded := None;
     deadline_armed := false
 
+  (* 46-bit LCG; the high bits feed the draws, so the weak low bits of
+     the recurrence never reach a schedule.  Fixed-width masking keeps
+     the sequence identical on every 64-bit platform. *)
+  let lcg_next s = ((s * 25214903917) + 11) land 0x3FFFFFFFFFFF
+
+  let draw_schedule ~seed ~faults =
+    if faults < 1 then
+      invalid_arg (Printf.sprintf "Fault.arm_seeded: faults %d < 1" faults);
+    let state = ref (lcg_next (seed land 0x3FFFFFFFFFFF)) in
+    let rand bound =
+      state := lcg_next !state;
+      (!state lsr 16) mod bound
+    in
+    let n_sites = List.length site_names in
+    (* distinct (site, nth) picks; the redraw budget bounds the loop
+       when [faults] approaches the number of distinct shots available *)
+    let rec draw acc k redraws =
+      if k = 0 || redraws = 0 then List.rev acc
+      else begin
+        let site = List.nth site_names (rand n_sites) in
+        let nth = 1 + rand 4 in
+        if List.exists (fun (s, n) -> s = site && n = nth) acc then
+          draw acc k (redraws - 1)
+        else draw ((site, nth) :: acc) (k - 1) (redraws - 1)
+      end
+    in
+    draw [] faults (faults * 32)
+
+  let arm_seeded ~seed ~faults =
+    let picks = draw_schedule ~seed ~faults in
+    armed := None;
+    seeded :=
+      Some
+        { seed;
+          shots =
+            List.map
+              (fun (site, nth) ->
+                { shot_site = site; shot_nth = nth; fired = false })
+              picks;
+          occurrences = Hashtbl.create 8;
+          slock = Mutex.create () };
+    deadline_armed := List.exists (fun (s, _) -> s = "deadline") picks
+
+  let schedule () =
+    match !seeded with
+    | None -> []
+    | Some sc ->
+        Mutex.protect sc.slock (fun () ->
+            List.map (fun s -> (s.shot_site, s.shot_nth, s.fired)) sc.shots)
+
   let arm spec =
+    (* "seed:S" / "seed:S:N": a seeded multi-shot schedule of N faults
+       (default 3) over all registered sites *)
+    match String.split_on_char ':' spec with
+    | "seed" :: rest -> (
+        let parse s =
+          match int_of_string_opt s with
+          | Some n when n >= 0 -> n
+          | _ ->
+              invalid_arg
+                (Printf.sprintf "Fault.arm: malformed seed spec %S" spec)
+        in
+        match rest with
+        | [ s ] -> arm_seeded ~seed:(parse s) ~faults:3
+        | [ s; n ] ->
+            let faults = parse n in
+            if faults < 1 then
+              invalid_arg
+                (Printf.sprintf "Fault.arm: fault count %d < 1 in %S" faults
+                   spec);
+            arm_seeded ~seed:(parse s) ~faults
+        | _ ->
+            invalid_arg
+              (Printf.sprintf "Fault.arm: malformed seed spec %S" spec))
+    | _ ->
     let site, nth =
       match String.index_opt spec ':' with
       | None -> (spec, 1)
@@ -194,6 +351,7 @@ module Fault = struct
       invalid_arg
         (Printf.sprintf "Fault.arm: unknown site %S (registered: %s)" site
            (String.concat ", " site_names));
+    seeded := None;
     armed := Some { site; countdown = Atomic.make nth };
     deadline_armed := String.equal site "deadline"
 
@@ -204,22 +362,50 @@ module Fault = struct
 
   let armed_site () = Option.map (fun a -> a.site) !armed
 
+  let fire_seeded sc site =
+    Mutex.protect sc.slock (fun () ->
+        let c =
+          match Hashtbl.find_opt sc.occurrences site with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.replace sc.occurrences site r;
+              r
+        in
+        incr c;
+        match
+          List.find_opt
+            (fun s -> (not s.fired) && s.shot_site = site && s.shot_nth = !c)
+            sc.shots
+        with
+        | Some s ->
+            s.fired <- true;
+            Counter.incr "guard.faults_injected";
+            Counter.incr ("guard.fault." ^ site);
+            true
+        | None -> false)
+
   (* [fire site] is the registered injection point: true exactly when
      this call is the armed nth occurrence of [site].  One-shot — the
      run must recover and finish — and deterministic for a fixed
      (site, nth) on a serial run; under a pool the atomic countdown
-     still fires exactly once. *)
+     still fires exactly once.  A seeded schedule is multi-shot: every
+     scheduled (site, nth) shot fires once, and the run must recover
+     from all of them. *)
   let fire site =
-    match !armed with
-    | Some a when String.equal a.site site ->
-        let prev = Atomic.fetch_and_add a.countdown (-1) in
-        if prev = 1 then begin
-          disarm ();
-          Counter.incr "guard.faults_injected";
-          true
-        end
-        else false
-    | _ -> false
+    match !seeded with
+    | Some sc -> fire_seeded sc site
+    | None -> (
+        match !armed with
+        | Some a when String.equal a.site site ->
+            let prev = Atomic.fetch_and_add a.countdown (-1) in
+            if prev = 1 then begin
+              disarm ();
+              Counter.incr "guard.faults_injected";
+              true
+            end
+            else false
+        | _ -> false)
 
   let inject site = if fire site then raise (Injected site)
 end

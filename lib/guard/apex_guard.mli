@@ -81,7 +81,49 @@ module Budget : sig
   (** [None] = no fuel limit; [Some n] = remaining steps (may be <= 0). *)
 end
 
-(** Deterministic one-shot fault injection at registered sites. *)
+(** Bounded deterministic retry for transient failures (store reads,
+    pair evaluations, socket loops). *)
+module Retry : sig
+  type t = {
+    attempts : int;  (** total tries including the first (>= 1) *)
+    base_delay_s : float;  (** delay before the second try *)
+    max_delay_s : float;  (** backoff cap *)
+  }
+
+  val default : t
+  (** 3 attempts, 10 ms base, 500 ms cap. *)
+
+  val v : ?attempts:int -> ?base_delay_s:float -> ?max_delay_s:float ->
+    unit -> t
+  (** @raise Invalid_argument on [attempts < 1] or a negative delay. *)
+
+  val delay_s : t -> int -> float
+  (** [delay_s t k] is the sleep after the [k]th failed attempt:
+      [base * 2^(k-1)] capped at [max_delay_s] — deterministic,
+      unjittered. *)
+
+  val run :
+    ?policy:t ->
+    ?sleep:(float -> unit) ->
+    label:string ->
+    retryable:(exn -> bool) ->
+    (unit -> 'a) ->
+    'a
+  (** [run ~label ~retryable f] calls [f], retrying on exceptions that
+      [retryable] accepts, with the policy's backoff between attempts.
+      Each retry counts [guard.retries.<label>]; when the attempts are
+      exhausted the last error re-raises and counts
+      [guard.retries_exhausted.<label>].  Non-retryable exceptions
+      propagate immediately.  [?sleep] is for tests. *)
+
+  val eintr : (unit -> 'a) -> 'a
+  (** Re-run [f] for as long as it fails with [EINTR] — the wrapper for
+      every blocking Unix call in the serve loops. *)
+end
+
+(** Deterministic fault injection at registered sites: one-shot
+    ([arm]), or seeded multi-shot schedules ([arm_seeded] /
+    [APEX_FAULT=seed:S[:N]]) for the chaos harness. *)
 module Fault : sig
   exception Injected of string
   (** Raised by {!inject} at the armed site; payload is the site name. *)
@@ -94,8 +136,22 @@ module Fault : sig
 
   val arm : string -> unit
   (** [arm "site"] or [arm "site:nth"]: fire at the [nth] occurrence
-      (default 1). @raise Invalid_argument on an unknown site or a
-      malformed count. *)
+      (default 1).  [arm "seed:S"] / [arm "seed:S:N"]: draw a
+      deterministic [N]-shot schedule (default 3) over all registered
+      sites from seed [S] (see {!arm_seeded}).  @raise Invalid_argument
+      on an unknown site or a malformed count/seed. *)
+
+  val arm_seeded : seed:int -> faults:int -> unit
+  (** Draw [faults] distinct (site, nth) shots from a deterministic
+      LCG keyed on [seed] and arm them all at once.  Each shot fires at
+      the [nth] occurrence of its site; shots are independent (firing
+      one leaves the rest armed).  Same seed and count always draw the
+      same schedule — the contract the chaos harness's determinism
+      check relies on. *)
+
+  val schedule : unit -> (string * int * bool) list
+  (** The armed seeded schedule as [(site, nth, fired)] triples in draw
+      order; [[]] when no seeded schedule is armed. *)
 
   val arm_from_env : unit -> unit
   (** Arm from [APEX_FAULT] when set and nonempty. *)

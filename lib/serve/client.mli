@@ -4,10 +4,13 @@
 type t
 (** One connection; requests on it are synchronous (send, wait). *)
 
-val connect : ?retries:int -> string -> t
-(** Connect to the daemon's socket, retrying [retries] times (default
-    50) at 100 ms intervals while the socket is missing or refusing —
-    covers the daemon still starting up.
+val connect : ?attempts:int -> string -> t
+(** Connect to the daemon's socket with bounded deterministic
+    exponential backoff (50 ms doubling to a 2 s cap, [attempts] tries
+    total, default 12 — about 19 s of patience) while the socket is
+    missing or refusing, which covers a daemon still starting up.
+    Anything other than [ENOENT]/[ECONNREFUSED] — permissions, a
+    non-socket path — fails fast instead of retrying.
     @raise Sys_error when the daemon never comes up. *)
 
 val request : t -> Proto.request -> Proto.response

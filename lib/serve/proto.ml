@@ -9,7 +9,8 @@ let max_frame_bytes = 16 * 1024 * 1024
 let rec write_all fd s off len =
   if len > 0 then begin
     let n =
-      try Unix.write_substring fd s off len
+      try
+        Apex_guard.Retry.eintr (fun () -> Unix.write_substring fd s off len)
       with Unix.Unix_error (e, _, _) ->
         raise (Sys_error ("serve: write: " ^ Unix.error_message e))
     in
@@ -22,7 +23,7 @@ let write_frame fd payload =
 
 let read_byte fd =
   let b = Bytes.create 1 in
-  match Unix.read fd b 0 1 with
+  match Apex_guard.Retry.eintr (fun () -> Unix.read fd b 0 1) with
   | 0 -> None
   | _ -> Some (Bytes.get b 0)
   | exception Unix.Unix_error (e, _, _) ->
@@ -55,7 +56,7 @@ let read_frame fd =
       let buf = Bytes.create len in
       let rec fill off =
         if off < len then
-          match Unix.read fd buf off (len - off) with
+          match Apex_guard.Retry.eintr (fun () -> Unix.read fd buf off (len - off)) with
           | 0 -> raise (Sys_error "serve: EOF inside a frame payload")
           | n -> fill (off + n)
           | exception Unix.Unix_error (e, _, _) ->

@@ -12,13 +12,16 @@ type config = {
   max_queue : int;
   default_deadline_s : float option;
   tenant_quota_bytes : int option;
+  journal_path : string option;
 }
 
 (* a pending request: the parsed request, its admission-time budget,
-   and the promise its connection thread blocks on *)
+   its journal id (when journaling), and the promise its connection
+   thread blocks on *)
 type pending = {
   req : Proto.request;
   budget : Guard.Budget.t;
+  jid : int option;
   p_lock : Mutex.t;
   p_cond : Condition.t;
   mutable resp : Proto.response option;
@@ -32,6 +35,7 @@ type t = {
   config : config;
   root : Guard.Budget.t;
   queue : pending Admission.t;
+  journal : Journal.t option;
   lsock : Unix.file_descr;
   stop : bool Atomic.t;
   mutable accept_thread : Thread.t option;
@@ -49,6 +53,13 @@ let socket_path t = t.config.socket_path
    pin documents that intent and keeps these counters global should a
    caller ever run them from inside some other scope. *)
 let in_global f = Registry.with_scope Registry.global_scope f
+
+(* journal transitions always count in the global scope, wherever the
+   calling thread or worker domain currently sits *)
+let journal_op t p f =
+  match (t.journal, p.jid) with
+  | Some j, Some jid -> in_global (fun () -> f j jid)
+  | _ -> ()
 
 let fulfill p resp =
   Mutex.protect p.p_lock (fun () ->
@@ -102,14 +113,22 @@ let execute t (p : pending) =
   match queued_reject p with
   | Some reason ->
       in_global (fun () -> Counter.incr "serve.requests_cancelled");
+      journal_op t p Journal.cancelled;
       Proto.Error { code = 4; kind = "cancelled"; message = reason }
   | None ->
+      journal_op t p Journal.started;
       let t0 = Unix.gettimeofday () in
       let resp =
         match run_isolated ~tenant ~budget:p.budget job with
         | report -> Proto.Ok report
         | exception e -> Proto.Error (Proto.error_of_exn e)
       in
+      (* a cancelled job must replay after a crash *and* must not be
+         marked done on a clean cancel; everything else (ok or a
+         deterministic error) is terminal *)
+      (match resp with
+      | Proto.Error e when e.code = 4 -> journal_op t p Journal.cancelled
+      | Proto.Ok _ | Proto.Error _ -> journal_op t p Journal.finished);
       (* tenant byte quota: trim the tenant's namespaces oldest-first
          after every request, so a tenant can exceed the quota only by
          the size of one request's artifacts *)
@@ -178,8 +197,17 @@ let process t payload =
             | None -> Guard.Budget.child t.root
             | Some deadline_s -> Guard.Budget.child ~deadline_s t.root
           in
+          (* WAL ordering: the admission is on disk *before* the job
+             can enter the queue, so a crash between the two replays
+             the job rather than losing it; a reject immediately
+             appends the balancing Cancelled record *)
+          let jid =
+            match t.journal with
+            | Some j -> Some (in_global (fun () -> Journal.admit j req))
+            | None -> None
+          in
           let p =
-            { req; budget; p_lock = Mutex.create ();
+            { req; budget; jid; p_lock = Mutex.create ();
               p_cond = Condition.create (); resp = None }
           in
           (match Admission.submit t.queue ~tenant:req.tenant p with
@@ -188,6 +216,7 @@ let process t payload =
               await p
           | `Full ->
               in_global (fun () -> Counter.incr "serve.requests_rejected");
+              journal_op t p Journal.cancelled;
               Proto.Error
                 { code = 4; kind = "over-capacity";
                   message =
@@ -196,6 +225,7 @@ let process t payload =
                       t.config.max_queue }
           | `Closed ->
               in_global (fun () -> Counter.incr "serve.requests_rejected");
+              journal_op t p Journal.cancelled;
               Proto.Error
                 { code = 4; kind = "cancelled";
                   message = "server is shutting down" }))
@@ -230,7 +260,7 @@ let accept_loop t =
       (match Unix.select [ t.lsock ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ -> (
-          match Unix.accept t.lsock with
+          match Guard.Retry.eintr (fun () -> Unix.accept t.lsock) with
           | fd, _ ->
               (* spawn while holding conns_lock: the handler's own
                  removal also takes it, so the entry is registered
@@ -257,6 +287,16 @@ let start config =
       invalid_arg (Printf.sprintf "serve: --deadline %g is not positive" s)
   | _ -> ());
   Registry.enable ();
+  (* replay the journal before anything can connect: unfinished jobs
+     from the previous incarnation re-enter the queue ahead of new
+     admissions, preserving admission order across the crash *)
+  let journal, replayed =
+    match config.journal_path with
+    | None -> (None, [])
+    | Some path ->
+        let j, unfinished = Journal.open_ path in
+        (Some j, unfinished)
+  in
   (* replace a stale socket file from a previous run; a *live* daemon
      on the same path will have its listener stolen, which Unix domain
      sockets cannot distinguish — one daemon per path is the contract *)
@@ -272,6 +312,7 @@ let start config =
     { config;
       root = Guard.Budget.v ();
       queue = Admission.create ~max_queue:config.max_queue;
+      journal;
       lsock;
       stop = Atomic.make false;
       accept_thread = None;
@@ -279,6 +320,36 @@ let start config =
       conns_lock = Mutex.create ();
       conns = [] }
   in
+  (* re-enqueue replayed jobs before the worker threads exist, so they
+     run ahead of any post-restart submission; nobody awaits their
+     promise — a resubmitting client reaches the result through the
+     store's per-pair and per-job artifacts instead *)
+  List.iter
+    (fun { Journal.jid; req } ->
+      let deadline_s =
+        match (req.Proto.deadline_s, config.default_deadline_s) with
+        | None, None -> None
+        | Some s, None | None, Some s -> Some s
+        | Some a, Some b -> Some (Float.min a b)
+      in
+      let budget =
+        match deadline_s with
+        | None -> Guard.Budget.child t.root
+        | Some deadline_s -> Guard.Budget.child ~deadline_s t.root
+      in
+      let p =
+        { req; budget; jid = Some jid; p_lock = Mutex.create ();
+          p_cond = Condition.create (); resp = None }
+      in
+      match Admission.submit t.queue ~tenant:req.Proto.tenant p with
+      | `Admitted ->
+          in_global (fun () -> Counter.incr "serve.requests_admitted")
+      | `Full | `Closed ->
+          (* a shrunk --max-queue across the restart can orphan a
+             replayed job; record the drop rather than looping on it *)
+          in_global (fun () -> Counter.incr "serve.requests_rejected");
+          journal_op t p Journal.cancelled)
+    replayed;
   t.scheduler_thread <- Some (Thread.create scheduler_loop t);
   t.accept_thread <- Some (Thread.create accept_loop t);
   t
@@ -321,6 +392,9 @@ let join t =
         t.conns)
   in
   List.iter (fun c -> Thread.join c.th) conns;
+  (* every queued job has been answered (and journalled done or
+     cancelled) by now, so a clean shutdown leaves an empty live set *)
+  Option.iter Journal.close t.journal;
   (try Unix.close t.lsock with Unix.Unix_error _ -> ());
   try Unix.unlink t.config.socket_path with Unix.Unix_error _ -> ()
 

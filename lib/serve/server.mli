@@ -39,6 +39,12 @@ type config = {
   tenant_quota_bytes : int option;
       (** per-tenant artifact-cache byte quota, enforced after each
           request across the tenant's ["<tenant>~*"] namespaces *)
+  journal_path : string option;
+      (** when set, admissions are journalled through {!Journal} before
+          they enter the queue, and unfinished jobs from a previous
+          incarnation are replayed (re-enqueued ahead of any new
+          submission) on {!start} — the crash-recovery contract in
+          DESIGN.md "Durability" *)
 }
 
 type t

@@ -307,6 +307,91 @@ let test_concurrent_memoize () =
   check Alcotest.(option string) "entry readable" (Some "value")
     (Store.lookup ~ns:"t" ~key)
 
+(* --- scrub and orphan reaping --- *)
+
+let entry_file ~ns =
+  let d = Filename.concat (Store.cache_dir ()) ns in
+  match Sys.readdir d with
+  | [| name |] -> Filename.concat d name
+  | files ->
+      Alcotest.failf "expected exactly one entry in %s, found %d" ns
+        (Array.length files)
+
+let test_scrub_quarantines_corrupt () =
+  Store.store ~ns:"good" ~key:(Store.key ~version:"t" [ "a" ]) "intact";
+  Store.store ~ns:"bad" ~key:(Store.key ~version:"t" [ "b" ]) "doomed";
+  (* bit rot: append garbage so the digest no longer matches *)
+  let victim = entry_file ~ns:"bad" in
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 victim in
+  output_string oc "bitrot";
+  close_out oc;
+  let by_ns ns stats =
+    List.find_opt
+      (fun (s : Store.scrub_stats) -> s.Store.scrub_ns = ns)
+      stats
+  in
+  let stats = Store.scrub () in
+  (match by_ns "bad" stats with
+  | Some s ->
+      check Alcotest.int "corrupt found" 1 s.Store.corrupt;
+      check Alcotest.bool "bytes accounted" true (s.Store.quarantined_bytes > 0)
+  | None -> Alcotest.fail "no stats for the corrupted namespace");
+  (match by_ns "good" stats with
+  | Some s ->
+      check Alcotest.int "good ns clean" 0 s.Store.corrupt;
+      check Alcotest.int "good ns verified" 1 s.Store.ok
+  | None -> Alcotest.fail "no stats for the good namespace");
+  (* quarantined, not deleted: the evidence moved under quarantine/ *)
+  check Alcotest.bool "entry left the namespace" false (Sys.file_exists victim);
+  let q =
+    Filename.concat
+      (Filename.concat (Store.cache_dir ()) "quarantine")
+      "bad"
+  in
+  check Alcotest.int "evidence preserved" 1 (Array.length (Sys.readdir q));
+  (* a second scrub over the now-clean store finds nothing: quarantine
+     is invisible to the walk, as are stats and gc *)
+  List.iter
+    (fun (s : Store.scrub_stats) ->
+      check Alcotest.int "re-scrub clean" 0 s.Store.corrupt)
+    (Store.scrub ());
+  check Alcotest.bool "stats skip quarantine" true
+    (List.for_all (fun (s : Store.ns_stats) -> s.Store.ns <> "quarantine")
+       (Store.stats ()));
+  ignore (Store.gc () : int * int);
+  check Alcotest.int "gc spares quarantine" 1 (Array.length (Sys.readdir q))
+
+let test_scrub_single_namespace () =
+  Store.store ~ns:"a" ~key:(Store.key ~version:"t" [ "a" ]) 1;
+  Store.store ~ns:"b" ~key:(Store.key ~version:"t" [ "b" ]) 2;
+  match Store.scrub ~ns:"a" () with
+  | [ s ] -> check Alcotest.string "only the named ns" "a" s.Store.scrub_ns
+  | l -> Alcotest.failf "expected 1 namespace, got %d" (List.length l)
+
+let test_gc_reaps_old_tmp_only () =
+  Store.store ~ns:"t" ~key:(Store.key ~version:"t" [ "a" ]) "real";
+  let d = Filename.concat (Store.cache_dir ()) "t" in
+  let write_tmp name mtime_ago =
+    let path = Filename.concat d name in
+    let oc = open_out_bin path in
+    output_string oc "half a payload";
+    close_out oc;
+    if mtime_ago > 0.0 then begin
+      let t = Unix.gettimeofday () -. mtime_ago in
+      Unix.utimes path t t
+    end;
+    path
+  in
+  (* one orphan from a long-dead writer, one fresh enough that a live
+     writer may still own it *)
+  let old_tmp = write_tmp "deadbeef.tmp.999.0" 7200.0 in
+  let fresh_tmp = write_tmp "cafebabe.tmp.998.1" 0.0 in
+  let deleted, _ = Store.gc ~budget_bytes:max_int () in
+  check Alcotest.int "no entries deleted" 0 deleted;
+  check Alcotest.bool "old orphan reaped" false (Sys.file_exists old_tmp);
+  check Alcotest.bool "fresh tmp spared" true (Sys.file_exists fresh_tmp);
+  check Alcotest.int "reap counted" 1 (Counter.get "exec.cache_tmp_reaped")
+
 let () =
   Alcotest.run "exec"
     [ ( "pool",
@@ -338,4 +423,11 @@ let () =
           Alcotest.test_case "gc by namespace and prefix" `Quick
             (with_scratch_store test_gc_ns_and_prefix);
           Alcotest.test_case "concurrent memoize" `Quick
-            (with_scratch_store test_concurrent_memoize) ] ) ]
+            (with_scratch_store test_concurrent_memoize) ] );
+      ( "scrub",
+        [ Alcotest.test_case "quarantines corrupt entries" `Quick
+            (with_scratch_store test_scrub_quarantines_corrupt);
+          Alcotest.test_case "single-namespace audit" `Quick
+            (with_scratch_store test_scrub_single_namespace);
+          Alcotest.test_case "gc reaps only old tmp orphans" `Quick
+            (with_scratch_store test_gc_reaps_old_tmp_only) ] ) ]

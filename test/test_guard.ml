@@ -168,6 +168,155 @@ let test_arm_from_env () =
         (Some "cache-corrupt") (Fault.armed_site ()))
     ~finally:(fun () -> Unix.putenv "APEX_FAULT" "")
 
+(* --- bounded deterministic retry --- *)
+
+let test_retry_backoff_schedule () =
+  let p = Guard.Retry.v ~attempts:8 ~base_delay_s:0.01 ~max_delay_s:0.5 () in
+  (* unjittered doubling from the base, capped: 10, 20, 40, ... 500 ms *)
+  check (Alcotest.float 1e-12) "1st retry" 0.01 (Guard.Retry.delay_s p 1);
+  check (Alcotest.float 1e-12) "2nd retry" 0.02 (Guard.Retry.delay_s p 2);
+  check (Alcotest.float 1e-12) "5th retry" 0.16 (Guard.Retry.delay_s p 5);
+  check (Alcotest.float 1e-12) "capped" 0.5 (Guard.Retry.delay_s p 7);
+  (match Guard.Retry.v ~attempts:0 () with
+  | _ -> Alcotest.fail "attempts 0 must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_retry_recovers_and_counts () =
+  let failures = ref 2 and slept = ref [] in
+  let v =
+    Guard.Retry.run
+      ~policy:(Guard.Retry.v ~attempts:5 ~base_delay_s:0.01 ())
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~label:"unit" ~retryable:(function Failure _ -> true | _ -> false)
+      (fun () ->
+        if !failures > 0 then begin
+          decr failures;
+          failwith "transient"
+        end;
+        42)
+  in
+  check Alcotest.int "succeeded after retries" 42 v;
+  check (Alcotest.list (Alcotest.float 1e-12)) "deterministic backoff"
+    [ 0.02; 0.01 ] !slept;
+  check Alcotest.int "retries counted" 2 (Counter.get "guard.retries.unit");
+  check Alcotest.int "no exhaustion" 0
+    (Counter.get "guard.retries_exhausted.unit")
+
+let test_retry_exhaustion_reraises () =
+  let calls = ref 0 in
+  (match
+     Guard.Retry.run
+       ~policy:(Guard.Retry.v ~attempts:3 ~base_delay_s:0.0 ())
+       ~sleep:(fun _ -> ())
+       ~label:"unit" ~retryable:(function Failure _ -> true | _ -> false)
+       (fun () ->
+         incr calls;
+         failwith "persistent")
+   with
+  | _ -> Alcotest.fail "exhaustion must re-raise"
+  | exception Failure m -> check Alcotest.string "last error" "persistent" m);
+  check Alcotest.int "attempts bounded" 3 !calls;
+  check Alcotest.int "exhaustion counted" 1
+    (Counter.get "guard.retries_exhausted.unit");
+  (* non-retryable errors propagate without a single retry *)
+  let calls = ref 0 in
+  (match
+     Guard.Retry.run ~label:"unit2"
+       ~retryable:(function Failure _ -> true | _ -> false)
+       (fun () ->
+         incr calls;
+         invalid_arg "fail fast")
+   with
+  | _ -> Alcotest.fail "non-retryable must propagate"
+  | exception Invalid_argument _ -> ());
+  check Alcotest.int "no retry on non-retryable" 1 !calls
+
+let test_retry_eintr () =
+  let left = ref 2 in
+  let v =
+    Guard.Retry.eintr (fun () ->
+        if !left > 0 then begin
+          decr left;
+          raise (Unix.Unix_error (Unix.EINTR, "read", ""))
+        end;
+        7)
+  in
+  check Alcotest.int "rides out EINTR" 7 v
+
+(* --- seeded multi-shot schedules --- *)
+
+let test_seeded_schedule_deterministic () =
+  Fault.arm_seeded ~seed:42 ~faults:5;
+  let s1 = Fault.schedule () in
+  Fault.disarm ();
+  Fault.arm_seeded ~seed:42 ~faults:5;
+  let s2 = Fault.schedule () in
+  check Alcotest.int "5 shots drawn" 5 (List.length s1);
+  check Alcotest.bool "same seed, same schedule" true (s1 = s2);
+  (* every shot targets a registered site at a sane occurrence, and the
+     (site, nth) picks are distinct *)
+  List.iter
+    (fun (site, nth, fired) ->
+      check Alcotest.bool "registered site" true
+        (List.mem site Fault.site_names);
+      check Alcotest.bool "occurrence in range" true (nth >= 1 && nth <= 4);
+      check Alcotest.bool "fresh" false fired)
+    s1;
+  let keys = List.map (fun (s, n, _) -> (s, n)) s1 in
+  check Alcotest.int "distinct picks" (List.length keys)
+    (List.length (List.sort_uniq compare keys));
+  Fault.disarm ();
+  Fault.arm_seeded ~seed:43 ~faults:5;
+  check Alcotest.bool "different seed, different schedule" true
+    (Fault.schedule () <> s1)
+
+let test_seeded_multi_shot_firing () =
+  Fault.arm_seeded ~seed:7 ~faults:6;
+  let shots = Fault.schedule () in
+  (* replay each site's occurrence stream by hand: exactly the
+     scheduled (site, nth) pairs fire, each one exactly once *)
+  let fired =
+    List.concat_map
+      (fun site ->
+        List.filter_map
+          (fun k -> if Fault.fire site then Some (site, k) else None)
+          (List.init 6 (fun i -> i + 1)))
+      Fault.site_names
+  in
+  let expected =
+    List.sort compare (List.map (fun (s, n, _) -> (s, n)) shots)
+  in
+  check Alcotest.bool "fired exactly the schedule" true
+    (List.sort compare fired = expected);
+  check Alcotest.int "each shot counted" (List.length shots)
+    (Counter.get "guard.faults_injected");
+  (* all shots spent: replaying the streams again fires nothing *)
+  List.iter
+    (fun site ->
+      List.iter
+        (fun _ -> check Alcotest.bool "spent" false (Fault.fire site))
+        (List.init 6 Fun.id))
+    Fault.site_names;
+  List.iter
+    (fun (_, _, fired) -> check Alcotest.bool "marked fired" true fired)
+    (Fault.schedule ())
+
+let test_seeded_arm_spec () =
+  Fault.arm "seed:11:4";
+  check Alcotest.int "seed:S:N draws N" 4 (List.length (Fault.schedule ()));
+  Fault.disarm ();
+  Fault.arm "seed:11";
+  check Alcotest.int "seed:S defaults to 3" 3 (List.length (Fault.schedule ()));
+  Fault.disarm ();
+  check Alcotest.int "disarm clears the schedule" 0
+    (List.length (Fault.schedule ()));
+  (match Fault.arm "seed:nope" with
+  | () -> Alcotest.fail "malformed seed must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match Fault.arm "seed:1:0" with
+  | () -> Alcotest.fail "zero shots must be rejected"
+  | exception Invalid_argument _ -> ())
+
 (* --- degradation ladders of the exact searches --- *)
 
 (* cycle graph C_n: a worst case the branch and bound must actually
@@ -491,6 +640,22 @@ let () =
             (guarded test_fire_nth_one_shot);
           Alcotest.test_case "APEX_FAULT env" `Quick (guarded test_arm_from_env)
         ] );
+      ( "retry",
+        [ Alcotest.test_case "backoff schedule" `Quick
+            (guarded test_retry_backoff_schedule);
+          Alcotest.test_case "recovers and counts" `Quick
+            (guarded test_retry_recovers_and_counts);
+          Alcotest.test_case "exhaustion re-raises" `Quick
+            (guarded test_retry_exhaustion_reraises);
+          Alcotest.test_case "eintr wrapper" `Quick
+            (guarded test_retry_eintr) ] );
+      ( "seeded-schedules",
+        [ Alcotest.test_case "deterministic draw" `Quick
+            (guarded test_seeded_schedule_deterministic);
+          Alcotest.test_case "multi-shot firing" `Quick
+            (guarded test_seeded_multi_shot_firing);
+          Alcotest.test_case "seed:S:N arm spec" `Quick
+            (guarded test_seeded_arm_spec) ] );
       ( "degradation",
         [ Alcotest.test_case "mis exact on small graphs" `Quick
             (guarded test_mis_exact_small);

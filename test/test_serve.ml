@@ -177,6 +177,168 @@ let test_admission_capacity_and_close () =
   check Alcotest.(option (list int)) "batch drained" None
     (Admission.pop_batch q ~max:4)
 
+(* --- journal --- *)
+
+module Journal = Apex_serve.Journal
+
+let with_journal_file f () =
+  let path = Filename.temp_file "apex-journal-test" ".wal" in
+  Sys.remove path;
+  Fun.protect
+    (fun () -> f path)
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+
+let sleep_req tenant seconds =
+  { Proto.tenant; job = Apex.Jobs.Sleep { seconds }; deadline_s = None }
+
+let test_journal_roundtrip path =
+  let j, unfinished = Journal.open_ path in
+  check Alcotest.int "fresh: empty" 0 (List.length unfinished);
+  let j1 = Journal.admit j (sleep_req "alice" 0.1) in
+  let j2 = Journal.admit j (sleep_req "bob" 0.2) in
+  let j3 = Journal.admit j (sleep_req "carol" 0.3) in
+  Journal.started j j1;
+  Journal.finished j j1;
+  Journal.started j j2;
+  (* j2 started but never done: still unfinished.  j3 cancelled. *)
+  Journal.cancelled j j3;
+  Journal.close j;
+  let j, unfinished = Journal.open_ path in
+  (match unfinished with
+  | [ { Journal.jid; req } ] ->
+      check Alcotest.int "started-not-done survives" j2 jid;
+      check Alcotest.string "request intact" "bob" req.Proto.tenant
+  | l ->
+      Alcotest.fail (Printf.sprintf "expected 1 unfinished, got %d"
+                       (List.length l)));
+  (* job ids stay monotonic across incarnations: a fresh admission can
+     never collide with a replayed one *)
+  let j4 = Journal.admit j (sleep_req "dave" 0.1) in
+  check Alcotest.bool "jid monotonic across reopen" true (j4 > j3);
+  Journal.close j
+
+let test_journal_torn_tail path =
+  let j, _ = Journal.open_ path in
+  ignore (Journal.admit j (sleep_req "alice" 0.1) : int);
+  ignore (Journal.admit j (sleep_req "bob" 0.2) : int);
+  Journal.close j;
+  let size_before = (Unix.stat path).Unix.st_size in
+  (* simulate a crash mid-append: a length prefix promising 48 bytes,
+     followed by too few, with no valid checksum *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "\x00\x00\x000partial-record-from-a-dying-writer";
+  close_out oc;
+  let j, unfinished = Journal.open_ path in
+  check Alcotest.int "valid prefix replays" 2 (List.length unfinished);
+  Journal.close j;
+  (* the torn bytes were truncated by the open-time compaction: the
+     file is again exactly the live set *)
+  check Alcotest.bool "torn tail gone" true
+    ((Unix.stat path).Unix.st_size <= size_before);
+  let j, unfinished = Journal.open_ path in
+  check Alcotest.int "idempotent after compaction" 2 (List.length unfinished);
+  Journal.close j
+
+let test_journal_rejects_foreign_file path =
+  let oc = open_out_bin path in
+  output_string oc "definitely not a journal\n";
+  close_out oc;
+  match Journal.open_ path with
+  | exception Sys_error _ -> ()
+  | _ -> Alcotest.fail "opened a non-journal file"
+
+let test_journal_replay_e2e path =
+  (* pre-seed the journal with one unfinished job, as a kill -9'd
+     daemon would leave behind, then start a daemon on it: the job
+     re-enters the queue with no client attached and completes *)
+  let j, _ = Journal.open_ path in
+  ignore (Journal.admit j (sleep_req "alice" 0.01) : int);
+  Journal.close j;
+  Registry.enable ();
+  Registry.reset ();
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "apex-journal-e2e-%d.sock" (Unix.getpid ()))
+  in
+  let t =
+    Server.start
+      { Server.socket_path = socket;
+        jobs = 1;
+        max_queue = 8;
+        default_deadline_s = None;
+        tenant_quota_bytes = None;
+        journal_path = Some path }
+  in
+  Fun.protect ~finally:(fun () ->
+      Server.shutdown t;
+      Registry.disable ();
+      Registry.reset ())
+  @@ fun () ->
+  check Alcotest.int "one job replayed" 1
+    (Apex_telemetry.Counter.get "serve.journal_replayed");
+  (* wait for the replayed job to complete (no client is waiting on
+     it, so poll the daemon's own counters) *)
+  let rec wait deadline =
+    if Apex_telemetry.Counter.get "serve.requests_completed" >= 1 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "replayed job never completed"
+    else begin
+      Unix.sleepf 0.02;
+      wait deadline
+    end
+  in
+  wait (Unix.gettimeofday () +. 10.0);
+  Server.shutdown t;
+  (* a clean shutdown leaves no unfinished work behind *)
+  let j, unfinished = Journal.open_ path in
+  check Alcotest.int "journal drained" 0 (List.length unfinished);
+  Journal.close j
+
+let test_journal_clean_shutdown_cancels_queued path =
+  (* jobs still queued at shutdown are answered cancelled *and*
+     journalled cancelled: a restart must not re-run work the client
+     already saw rejected *)
+  Registry.enable ();
+  Registry.reset ();
+  let socket =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "apex-journal-cancel-%d.sock" (Unix.getpid ()))
+  in
+  let t =
+    Server.start
+      { Server.socket_path = socket;
+        jobs = 1;
+        max_queue = 8;
+        default_deadline_s = None;
+        tenant_quota_bytes = None;
+        journal_path = Some path }
+  in
+  let resp = ref None in
+  let th =
+    Thread.create
+      (fun () ->
+        resp :=
+          Some
+            (Client.one_shot ~socket
+               { Proto.tenant = "alice";
+                 job = Apex.Jobs.Sleep { seconds = 30.0 };
+                 deadline_s = None }))
+      ()
+  in
+  Unix.sleepf 0.3;
+  Server.request_stop t;
+  Thread.join th;
+  Server.shutdown t;
+  Registry.disable ();
+  Registry.reset ();
+  (match !resp with
+  | Some (Proto.Error e) -> check Alcotest.int "cancelled" 4 e.Proto.code
+  | Some (Proto.Ok _) -> Alcotest.fail "30s sleep finished under cancel"
+  | None -> Alcotest.fail "no response recorded");
+  let j, unfinished = Journal.open_ path in
+  check Alcotest.int "cancelled job not replayable" 0 (List.length unfinished);
+  Journal.close j
+
 (* --- end to end --- *)
 
 let with_server ?default_deadline_s f () =
@@ -194,7 +356,8 @@ let with_server ?default_deadline_s f () =
         jobs = 2;
         max_queue = 8;
         default_deadline_s;
-        tenant_quota_bytes = None }
+        tenant_quota_bytes = None;
+        journal_path = None }
   in
   let rec rm path =
     if Sys.is_directory path then begin
@@ -346,6 +509,17 @@ let () =
           Alcotest.test_case "batch pop" `Quick test_admission_batch;
           Alcotest.test_case "capacity and close" `Quick
             test_admission_capacity_and_close ] );
+      ( "journal",
+        [ Alcotest.test_case "record roundtrip and replay" `Quick
+            (with_journal_file test_journal_roundtrip);
+          Alcotest.test_case "torn tail truncation" `Quick
+            (with_journal_file test_journal_torn_tail);
+          Alcotest.test_case "foreign file rejected" `Quick
+            (with_journal_file test_journal_rejects_foreign_file);
+          Alcotest.test_case "daemon replays unfinished job" `Quick
+            (with_journal_file test_journal_replay_e2e);
+          Alcotest.test_case "clean shutdown cancels queued" `Quick
+            (with_journal_file test_journal_clean_shutdown_cancels_queued) ] );
       ( "daemon",
         [ Alcotest.test_case "sleep job ok" `Quick
             (with_server test_e2e_sleep_ok);
